@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Ablation studies of AWB-GCN design choices called out in DESIGN.md §7
+ * (beyond the paper's own figures):
+ *
+ *  1. Eq. 5 exact division vs the hardware-efficient shift approximation.
+ *  2. PESM tracking-window size (tuples tracked concurrently).
+ *  3. Initial row-map policy (blocked vs cyclic).
+ *  4. Omega-network provisioning (fabric speedup), cycle-accurate.
+ *
+ * Each table reports total cycles / utilization on a representative
+ * skewed workload so the sensitivity of the auto-tuner is visible.
+ */
+
+#include <cstdio>
+
+#include "accel/perf_model.hpp"
+#include "accel/spmm_engine.hpp"
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+
+using namespace awb;
+
+namespace {
+
+PerfGcnResult
+runModel(const WorkloadProfile &prof, AccelConfig cfg)
+{
+    return PerfModel(cfg).runGcn(prof);
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Ablation", "design-choice sensitivity studies");
+
+    auto nell = loadProfile(findDataset("nell"), 1, 1.0);
+    auto cora = loadProfile(findDataset("cora"), 1, 1.0);
+
+    {
+        std::printf("\n1. Eq. 5: exact vs shift-approximate increment "
+                    "(Design D, 1024 PEs):\n");
+        Table t({"dataset", "variant", "cycles", "util", "rows switched"});
+        for (const auto *p : {&cora, &nell}) {
+            for (bool approx : {false, true}) {
+                AccelConfig cfg = makeConfig(Design::RemoteD, 1024,
+                                             bench::hopBase(p->spec));
+                cfg.approximateEq5 = approx;
+                auto res = runModel(*p, cfg);
+                Count switched = 0;
+                for (const auto &l : res.layers)
+                    switched += l.xw.rowsSwitched + l.ax.rowsSwitched;
+                t.addRow({bench::datasetLabel(p->spec),
+                          approx ? "shift-approx" : "exact",
+                          humanCount(static_cast<double>(res.totalCycles)),
+                          percent(res.utilization),
+                          std::to_string(switched)});
+            }
+        }
+        std::printf("%s", t.render().c_str());
+    }
+
+    {
+        std::printf("\n2. PESM tracking-window size (Design D, NELL):\n");
+        Table t({"window", "cycles", "util"});
+        for (int w : {1, 2, 4, 8}) {
+            AccelConfig cfg =
+                makeConfig(Design::RemoteD, 1024, bench::hopBase(nell.spec));
+            cfg.trackingWindow = w;
+            auto res = runModel(nell, cfg);
+            t.addRow({std::to_string(w),
+                      humanCount(static_cast<double>(res.totalCycles)),
+                      percent(res.utilization)});
+        }
+        std::printf("%s", t.render().c_str());
+    }
+
+    {
+        std::printf("\n3. Initial row-map policy (Baseline, 1024 PEs):\n");
+        Table t({"dataset", "policy", "cycles", "util"});
+        for (const auto *p : {&cora, &nell}) {
+            for (RowMapPolicy pol :
+                 {RowMapPolicy::Blocked, RowMapPolicy::Cyclic}) {
+                AccelConfig cfg = makeConfig(Design::Baseline, 1024);
+                cfg.mapPolicy = pol;
+                auto res = runModel(*p, cfg);
+                t.addRow({bench::datasetLabel(p->spec),
+                          pol == RowMapPolicy::Blocked ? "blocked"
+                                                       : "cyclic",
+                          humanCount(static_cast<double>(res.totalCycles)),
+                          percent(res.utilization)});
+            }
+        }
+        std::printf("%s", t.render().c_str());
+        std::printf("Cyclic interleaving spreads clustered rows across PEs\n"
+                    "(a static alternative to remote switching) but cannot\n"
+                    "react to the actual non-zero distribution at runtime.\n");
+    }
+
+    {
+        std::printf("\n4. Omega fabric provisioning (cycle-accurate, CORA "
+                    "scale 0.3, 32 PEs, Design B):\n");
+        auto ds = loadSyntheticByName("cora", 5, 0.3);
+        Rng rng(9);
+        DenseMatrix b(ds.spec.nodes, 8);
+        b.fillUniform(rng, -1.0f, 1.0f);
+        Table t({"speedup", "buffer", "cycles", "util",
+                 "blocked moves"});
+        for (int sp : {1, 2, 4, 8}) {
+            AccelConfig cfg = makeConfig(Design::LocalB, 32);
+            cfg.networkSpeedup = sp;
+            RowPartition part(ds.spec.nodes, 32, cfg.mapPolicy);
+            SpmmStats stats;
+            SpmmEngine(cfg).run(ds.adjacency, b, TdqKind::Tdq2OmegaCsc,
+                                part, stats);
+            t.addRow({std::to_string(sp),
+                      std::to_string(cfg.omegaBufferDepth),
+                      std::to_string(stats.cycles),
+                      percent(stats.utilization),
+                      std::to_string(stats.rawStalls)});
+        }
+        std::printf("%s", t.render().c_str());
+        std::printf("An under-provisioned fabric (speedup 1) bottlenecks the\n"
+                    "PEs regardless of workload balance — the paper's design\n"
+                    "premise is a distribution path that keeps PEs fed.\n");
+    }
+    return 0;
+}

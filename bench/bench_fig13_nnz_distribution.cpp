@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Reproduces paper Figures 1 and 13: the per-row non-zero distribution of
+ * the five adjacency matrices — the evidence that real graphs are heavily
+ * imbalanced (power law) and that Nell is additionally clustered.
+ * Prints distribution summaries and an ASCII log-log histogram per
+ * dataset.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "graph/datasets.hpp"
+#include "graph/degree_dist.hpp"
+
+using namespace awb;
+
+namespace {
+
+void
+printHistogram(const std::vector<Count> &row_nnz)
+{
+    Count max_d = *std::max_element(row_nnz.begin(), row_nnz.end());
+    // Power-of-4 buckets: 1, 2-4, 5-16, ...
+    std::vector<Count> buckets;
+    for (Count lo = 1; lo <= max_d; lo *= 4) buckets.push_back(0);
+    for (Count d : row_nnz) {
+        if (d <= 0) continue;
+        std::size_t b = 0;
+        for (Count lo = 1; lo * 4 <= d; lo *= 4) ++b;
+        ++buckets[b];
+    }
+    Count peak = *std::max_element(buckets.begin(), buckets.end());
+    Count lo = 1;
+    for (std::size_t b = 0; b < buckets.size(); ++b, lo *= 4) {
+        int bar = peak > 0
+            ? static_cast<int>(60.0 * static_cast<double>(buckets[b]) /
+                               static_cast<double>(peak))
+            : 0;
+        std::printf("  nnz %8lld-%-8lld |%-60s| %lld rows\n",
+                    static_cast<long long>(lo),
+                    static_cast<long long>(lo * 4 - 1),
+                    std::string(static_cast<std::size_t>(bar), '#').c_str(),
+                    static_cast<long long>(buckets[b]));
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Figures 1 & 13",
+                  "adjacency per-row non-zero distribution (full scale)");
+
+    Table t({"dataset", "rows", "nnz", "mean/row", "max/row", "gini",
+             "top-1% rows hold"});
+    for (const auto &spec : paperDatasets()) {
+        auto prof = loadProfile(spec, 1, 1.0);
+        auto &nnz = prof.aRowNnz;
+        Count total = std::accumulate(nnz.begin(), nnz.end(), Count(0));
+        Count max_d = *std::max_element(nnz.begin(), nnz.end());
+        auto sorted = nnz;
+        std::sort(sorted.begin(), sorted.end(), std::greater<>());
+        std::size_t top = std::max<std::size_t>(1, sorted.size() / 100);
+        Count top_sum = std::accumulate(sorted.begin(),
+                                        sorted.begin() +
+                                            static_cast<long>(top),
+                                        Count(0));
+        t.addRow({bench::datasetLabel(spec),
+                  std::to_string(prof.spec.nodes),
+                  humanCount(static_cast<double>(total)),
+                  fixed(static_cast<double>(total) /
+                        static_cast<double>(prof.spec.nodes), 1),
+                  std::to_string(max_d), fixed(giniCoefficient(nnz), 2),
+                  percent(static_cast<double>(top_sum) /
+                          static_cast<double>(total))});
+    }
+    std::printf("%s", t.render().c_str());
+
+    for (const auto &spec : paperDatasets()) {
+        auto prof = loadProfile(spec, 1, 1.0);
+        std::printf("\n%s row-degree histogram (log buckets):\n",
+                    bench::datasetLabel(spec).c_str());
+        printHistogram(prof.aRowNnz);
+    }
+    std::printf("\nShape target: every dataset is heavy-tailed; NELL shows\n"
+                "the extreme clustered tail (a handful of rows with >10^3\n"
+                "non-zeros) that forces 2/3-hop sharing (paper §5.2).\n");
+    return 0;
+}

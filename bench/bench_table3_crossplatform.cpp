@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Reproduces paper Table 3: cross-platform latency and energy efficiency
+ * for the five datasets — CPU (host-measured reference GCN for the
+ * datasets that fit comfortably; analytic from op counts otherwise), an
+ * analytic GPU model (no GPU in this environment; DESIGN.md §3), the
+ * EIE-like design, the baseline accelerator, and AWB-GCN Design(D), the
+ * last three from the round-level model at 1024 PEs.
+ *
+ * Absolute numbers are environment-specific; the reproduction targets are
+ * the orderings and the rough speedup factors (paper averages: 246.7x vs
+ * CPU, 78.9x vs GPU, 2.7x vs baseline, 11.0x vs EIE-like).
+ */
+
+#include <cstdio>
+#include <cstring>
+
+#include "accel/perf_model.hpp"
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "gcn/model.hpp"
+#include "gcn/ops_count.hpp"
+#include "model/energy_model.hpp"
+#include "model/platforms.hpp"
+
+using namespace awb;
+
+int
+main(int argc, char **argv)
+{
+    // --measure-all additionally wall-clock-measures Nell and Reddit on
+    // the host CPU (minutes of runtime and ~1.5 GB RSS for Reddit).
+    bool measure_all = argc > 1 && std::strcmp(argv[1], "--measure-all") == 0;
+
+    bench::banner("Table 3", "cross-platform latency and energy efficiency");
+
+    const double kFpgaMhz = 275.0, kEieMhz = 285.0;
+    Table t({"dataset", "platform", "freq", "latency (ms)",
+             "inference/kJ", "AWB speedup"});
+    double sum_cpu = 0, sum_gpu = 0, sum_base = 0, sum_eie = 0;
+    int n_rows = 0;
+
+    for (const auto &spec : paperDatasets()) {
+        auto prof = loadProfile(spec, 1, 1.0);
+        auto ops = countOpsProfile(prof);
+
+        // --- CPU row: measured where practical, analytic otherwise.
+        bool measurable =
+            measure_all || (spec.nodes <= 20000 && spec.f1 <= 4000);
+        double cpu_ms;
+        std::string cpu_tag;
+        if (measurable) {
+            auto ds = loadSynthetic(spec, 1, 1.0);
+            auto model = makeGcnModel(spec.f1, spec.f2, spec.f3);
+            cpu_ms = measureCpuLatencyMs(ds, model, 3);
+            cpu_tag = "host CPU (measured)";
+        } else {
+            cpu_ms = modelCpuLatencyMs(ops);
+            cpu_tag = "CPU (op-count model)";
+        }
+        auto cpu = evaluateFixedPower(cpu_ms, CpuModelConstants{}.watts);
+
+        // --- GPU row (analytic, see DESIGN.md substitutions).
+        auto gpu = evaluateFixedPower(modelGpuLatencyMs(ops, 2),
+                                      GpuModelConstants{}.watts);
+
+        // --- Accelerator rows from the round-level model.
+        auto run_design = [&](Design d, double mhz) {
+            AccelConfig cfg = makeConfig(d, 1024, bench::hopBase(spec));
+            auto res = PerfModel(cfg).runGcn(prof);
+            return evaluateEnergy(res.totalCycles, res.totalTasks, mhz);
+        };
+        auto eie = run_design(Design::EieLike, kEieMhz);
+        auto base = run_design(Design::Baseline, kFpgaMhz);
+        auto awb = run_design(Design::RemoteD, kFpgaMhz);
+
+        auto row = [&](const char *platform, const char *freq,
+                       const EnergyReport &r) {
+            t.addRow({bench::datasetLabel(spec), platform, freq,
+                      fixed(r.latencyMs, r.latencyMs < 1 ? 4 : 2),
+                      humanCount(r.inferencesPerKj),
+                      fixed(r.latencyMs / awb.latencyMs, 1) + "x"});
+        };
+        row(cpu_tag.c_str(), "2.2GHz", cpu);
+        row("GPU P100 (analytic)", "1.3GHz", gpu);
+        row("EIE-like", "285MHz", eie);
+        row("Baseline", "275MHz", base);
+        row("AWB-GCN (D)", "275MHz", awb);
+
+        sum_cpu += cpu.latencyMs / awb.latencyMs;
+        sum_gpu += gpu.latencyMs / awb.latencyMs;
+        sum_base += base.latencyMs / awb.latencyMs;
+        sum_eie += eie.latencyMs / awb.latencyMs;
+        ++n_rows;
+    }
+    std::printf("%s", t.render().c_str());
+    std::printf("\nAverage AWB-GCN speedups: %.1fx vs CPU, %.1fx vs GPU, "
+                "%.1fx vs EIE-like, %.2fx vs baseline\n",
+                sum_cpu / n_rows, sum_gpu / n_rows, sum_eie / n_rows,
+                sum_base / n_rows);
+    std::printf("Paper averages: 246.7x CPU, 78.9x GPU, 11.0x EIE-like, "
+                "2.7x baseline.\n");
+    return 0;
+}

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Social-network scenario with clustered celebrities (the Nell-like case
+ * of paper §5.2): watches the hardware performance auto-tuning happen —
+ * per-round (per output column) cycle counts shrink as the PESM/UGT/SLT
+ * pipeline rewrites the row map, then the converged configuration is
+ * reused for the remaining columns and for the next layer.
+ *
+ * Run:  ./social_network_autotune
+ */
+
+#include <cstdio>
+
+#include "accel/perf_model.hpp"
+#include "accel/spmm_engine.hpp"
+#include "common/rng.hpp"
+#include "graph/datasets.hpp"
+
+using namespace awb;
+
+int
+main()
+{
+    // Nell-like clustered graph, scaled so the cycle-accurate engine
+    // finishes quickly.
+    Dataset ds = loadSyntheticByName("nell", 3, /*scale=*/0.04);
+    std::printf("social graph: %d users, %lld follow edges (clustered "
+                "celebrity band)\n\n",
+                ds.spec.nodes, static_cast<long long>(ds.adjacency.nnz()));
+
+    Rng rng(5);
+    DenseMatrix activations(ds.spec.nodes, 32);
+    activations.fillUniform(rng, -1.0f, 1.0f);
+
+    auto show = [&](Design d) {
+        AccelConfig cfg = makeConfig(d, 32, /*hop_base=*/2);
+        RowPartition part(ds.spec.nodes, cfg.numPes, cfg.mapPolicy);
+        SpmmEngine engine(cfg);
+        SpmmStats stats;
+        engine.run(ds.adjacency, activations, TdqKind::Tdq2OmegaCsc, part,
+                   stats);
+        std::printf("%s: %lld cycles, util %.1f%%, rows switched %lld, "
+                    "converged at round %lld\n",
+                    designName(d).c_str(),
+                    static_cast<long long>(stats.cycles),
+                    stats.utilization * 100.0,
+                    static_cast<long long>(stats.rowsSwitched),
+                    static_cast<long long>(stats.convergedRound));
+        std::printf("  per-round cycles:");
+        for (std::size_t k = 0; k < stats.roundCycles.size(); ++k) {
+            if (k % 8 == 0) std::printf("\n   ");
+            std::printf(" %5lld",
+                        static_cast<long long>(stats.roundCycles[k]));
+        }
+        std::printf("\n\n");
+    };
+
+    show(Design::Baseline);   // flat, slow rounds: the celebrity band
+                              // pins a couple of PEs at 100%
+    show(Design::LocalB);     // 3-hop sharing flattens the band locally
+    show(Design::RemoteD);    // remote switching keeps improving round by
+                              // round until the map converges
+
+    std::printf("Watch Design(D)'s early rounds shrink as the Shuffling\n"
+                "Switches spread the celebrity rows, then hold steady: the\n"
+                "converged map is simply reused (hardware auto-tuning,\n"
+                "paper §4).\n");
+    return 0;
+}

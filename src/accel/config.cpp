@@ -1,0 +1,58 @@
+#include "accel/config.hpp"
+
+#include "common/log.hpp"
+
+namespace awb {
+
+std::string
+designName(Design d)
+{
+    switch (d) {
+      case Design::Baseline: return "Baseline";
+      case Design::LocalA:   return "Design(A)";
+      case Design::LocalB:   return "Design(B)";
+      case Design::RemoteC:  return "Design(C)";
+      case Design::RemoteD:  return "Design(D)";
+      case Design::EieLike:  return "EIE-like";
+    }
+    return "?";
+}
+
+AccelConfig
+makeConfig(Design design, int num_pes, int hop_base)
+{
+    // Note: only the cycle-accurate TDQ-2 path requires a power-of-two PE
+    // count (Omega network); the round-level model accepts any size (the
+    // paper's Fig. 15 sweeps 512/768/1024).
+    if (num_pes <= 0) fatal("numPes must be positive");
+    if (hop_base < 1) hop_base = 1;
+
+    AccelConfig cfg;
+    cfg.numPes = num_pes;
+    switch (design) {
+      case Design::Baseline:
+        break;
+      case Design::LocalA:
+        cfg.sharingHops = hop_base;
+        break;
+      case Design::LocalB:
+        cfg.sharingHops = hop_base + 1;
+        break;
+      case Design::RemoteC:
+        cfg.sharingHops = hop_base;
+        cfg.remoteSwitching = true;
+        break;
+      case Design::RemoteD:
+        cfg.sharingHops = hop_base + 1;
+        cfg.remoteSwitching = true;
+        break;
+      case Design::EieLike:
+        // EIE forwards non-zeros in column-major order to a single
+        // activation queue per PE and has no rebalancing (paper §6).
+        cfg.numQueuesPerPe = 1;
+        break;
+    }
+    return cfg;
+}
+
+} // namespace awb

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Configuration of the AWB-GCN accelerator and the design points evaluated
+ * in the paper (§5.2): Baseline, Design(A) 1-hop local sharing, Design(B)
+ * 2-hop, Design(C) 1-hop + remote switching, Design(D) 2-hop + remote
+ * switching, plus the EIE-like reference of Table 3. Nell overrides the
+ * hop counts to 2/3 (paper §5.2).
+ */
+
+#pragma once
+
+#include <string>
+
+#include "common/types.hpp"
+
+namespace awb {
+
+/** How rows of the sparse operand are initially assigned to PEs. */
+enum class RowMapPolicy
+{
+    Blocked,  ///< n/P consecutive rows per PE (paper Fig. 6)
+    Cyclic,   ///< row i -> PE i mod P
+};
+
+/** Evaluated design points. */
+enum class Design
+{
+    Baseline,      ///< static equal partition, no rebalancing
+    LocalA,        ///< dynamic local sharing, base hops (1-hop)
+    LocalB,        ///< dynamic local sharing, base+1 hops (2-hop)
+    RemoteC,       ///< LocalA + dynamic remote switching
+    RemoteD,       ///< LocalB + dynamic remote switching
+    EieLike,       ///< EIE-style column-major forwarding, single TQ per PE
+};
+
+/** Printable design name matching the paper's legend. */
+std::string designName(Design d);
+
+/** All six design points in evaluation order. */
+inline constexpr Design kAllDesigns[] = {
+    Design::Baseline, Design::LocalA, Design::LocalB,
+    Design::RemoteC,  Design::RemoteD, Design::EieLike,
+};
+
+/** Full accelerator configuration. */
+struct AccelConfig
+{
+    int numPes = 64;          ///< PE-array size (power of two for TDQ-2)
+    /** MAC accumulate-to-accumulate latency T. Default 1: FPGA DSP-slice
+     *  MACCs forward the accumulator register in a single cycle, so
+     *  back-to-back accumulations to the same row do not stall; the RaW
+     *  scoreboard (paper §3.3) exists for deeper floating-point pipelines
+     *  (set T > 1 to model them — heavy rows then serialize at T
+     *  cycles/task, which measurably tanks utilization). */
+    int macLatency = 1;
+    int numQueuesPerPe = 4;   ///< TQs per PE (TDQ-1 arbitration, Fig. 7)
+    /** Tasks a PE can receive per cycle (distribution fan-in ports).
+     *  Independent of queue count: the EIE-like design has one deep
+     *  activation queue but still ingests at full distribution rate. */
+    int receivePorts = 4;
+    std::size_t queueDepth = 0;  ///< TQ capacity; 0 = unbounded (measure)
+    int sharingHops = 0;      ///< local sharing distance; 0 = disabled
+    bool remoteSwitching = false;  ///< enable PESM/UGT/SLT path
+    int trackingWindow = 2;   ///< PE-tuples tracked concurrently (PESM)
+    bool approximateEq5 = false;   ///< hardware-efficient shift-based Eq. 5
+    RowMapPolicy mapPolicy = RowMapPolicy::Blocked;
+    int omegaBufferDepth = 8; ///< per-router input buffer slots (TDQ-2)
+    /** Omega fabric clock multiple relative to the PE clock: flits one
+     *  router output passes per PE cycle. The paper provisions the
+     *  network so task distribution, not routing, limits throughput. */
+    int networkSpeedup = 8;
+    int injectWidth = 0;      ///< TDQ-2 flits/cycle; 0 = numPes
+    int streamWidth = 0;      ///< TDQ-1 dense elements scanned per cycle;
+                              ///< 0 = auto (numPes / operand density)
+    Cycle maxCyclesPerRound = 100000000;  ///< watchdog
+
+    /** True when this configuration performs any runtime rebalancing. */
+    bool rebalancing() const { return sharingHops > 0 || remoteSwitching; }
+};
+
+/**
+ * Build the configuration for a paper design point.
+ *
+ * @param design    design point
+ * @param num_pes   PE-array size
+ * @param hop_base  base hop distance (1 for most datasets; 2 for Nell, the
+ *                  DatasetSpec::hopOverride)
+ */
+AccelConfig makeConfig(Design design, int num_pes, int hop_base = 1);
+
+} // namespace awb

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * The full AWB-GCN accelerator: chains the two SPMMs of every GCN layer
+ * (X×W via TDQ-1, then A×(XW) via TDQ-2) with coarse-grained column
+ * pipelining (paper Fig. 8: a column of XW feeds the A-multiply as soon as
+ * it completes, so only one column of XW is ever buffered on chip), and
+ * applies ReLU between layers.
+ *
+ * The adjacency matrix is identical in every layer, so the row map tuned
+ * by remote switching during layer 1's A×(XW) is carried into layer 2
+ * (hardware performance auto-tuning, §4).
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "accel/spmm_engine.hpp"
+#include "gcn/model.hpp"
+#include "graph/datasets.hpp"
+
+namespace awb {
+
+/** Cycle results of one GCN layer on the accelerator. */
+struct GcnLayerResult
+{
+    SpmmStats xw;  ///< X(l) × W(l), TDQ-1
+    SpmmStats ax;  ///< A × (XW), TDQ-2
+    /** Further adjacency multiplications for multi-hop aggregation
+     *  (A²(XW), A³(XW), ... — paper §3.3's three-way pipelining). */
+    std::vector<SpmmStats> extraHops;
+    /** Layer delay when all chained SPMMs are column-pipelined (Fig. 8). */
+    Cycle pipelinedCycles = 0;
+};
+
+/** Cycle results of a full inference. */
+struct GcnRunResult
+{
+    DenseMatrix output;
+    std::vector<GcnLayerResult> layers;
+    Cycle totalCycles = 0;        ///< sum of pipelined layer delays
+    Cycle totalCyclesSerial = 0;  ///< without inter-SPMM pipelining
+    Count totalTasks = 0;
+    double utilization = 0.0;     ///< tasks / (P · serial cycles)
+};
+
+/** Cycle-accurate accelerator for multi-layer GCN inference. */
+class GcnAccelerator
+{
+  public:
+    explicit GcnAccelerator(const AccelConfig &cfg) : cfg_(cfg) {}
+
+    /** Run inference; functionally exact (validated against inferGcn). */
+    GcnRunResult run(const Dataset &ds, const GcnModel &model);
+
+    const AccelConfig &config() const { return cfg_; }
+
+  private:
+    AccelConfig cfg_;
+};
+
+/**
+ * Combine per-round durations of two chained SPMMs under column
+ * pipelining: stage-2 round k starts when stage 1 finished column k and
+ * stage 2 finished column k-1. Returns the end-to-end delay.
+ */
+Cycle pipelineCycles(const std::vector<Cycle> &stage1,
+                     const std::vector<Cycle> &stage2);
+
+/** N-stage generalization: stage s round k starts when stage s-1 finished
+ *  column k and stage s finished column k-1. */
+Cycle pipelineCyclesMulti(
+    const std::vector<const std::vector<Cycle> *> &stages);
+
+} // namespace awb

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Dynamic local workload sharing (paper §4.1).
+ *
+ * Before a task is pushed into a PE's queues, its pending-task counter is
+ * compared against the PEs within `hops` positions; the task goes to the
+ * least-loaded of them. A diverted task still accumulates into the home
+ * PE's ACC bank (the Task carries homePe), mirroring the return path of
+ * Fig. 11-(B). In TDQ-2 this decision happens at the final network layer,
+ * whose boundary links make out-of-group neighbours reachable
+ * (Fig. 11-(D)); choosing among [home-hops, home+hops] models exactly
+ * that reachable set.
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "accel/pe.hpp"
+
+namespace awb {
+
+/** Stateless enqueue-time neighbour selection. */
+class LocalSharer
+{
+  public:
+    /**
+     * @param hops  sharing distance; 0 disables sharing
+     */
+    explicit LocalSharer(int hops) : hops_(hops) {}
+
+    int hops() const { return hops_; }
+
+    /**
+     * Least-pending PE within the sharing window of `home`. Ties favour
+     * the home PE, then smaller distance (shorter return path).
+     * PEs that cannot accept (bounded queues full, or whose per-cycle
+     * receive ports are exhausted per `accepted`/`accept_cap`) are
+     * skipped; returns -1 when every candidate is unavailable.
+     *
+     * @param accepted    per-PE count of tasks already accepted this
+     *                    cycle (nullptr to ignore port limits)
+     * @param accept_cap  per-PE receive ports per cycle
+     */
+    int
+    choose(int home, const std::vector<Pe> &pes,
+           const std::vector<int> *accepted = nullptr,
+           int accept_cap = 0) const
+    {
+        const int n = static_cast<int>(pes.size());
+        int best = -1;
+        std::size_t best_pending = 0;
+        int best_dist = 0;
+        for (int d = -hops_; d <= hops_; ++d) {
+            int p = home + d;
+            if (p < 0 || p >= n) continue;
+            const Pe &pe = pes[static_cast<std::size_t>(p)];
+            if (!pe.canAccept()) continue;
+            if (accepted != nullptr &&
+                (*accepted)[static_cast<std::size_t>(p)] >= accept_cap)
+                continue;
+            std::size_t pending = pe.pending();
+            int dist = d < 0 ? -d : d;
+            bool better = best == -1 || pending < best_pending ||
+                          (pending == best_pending && dist < best_dist);
+            if (better) {
+                best = p;
+                best_pending = pending;
+                best_dist = dist;
+            }
+        }
+        return best;
+    }
+
+  private:
+    int hops_;
+};
+
+} // namespace awb

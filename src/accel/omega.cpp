@@ -1,0 +1,124 @@
+#include "accel/omega.hpp"
+
+#include "common/log.hpp"
+
+namespace awb {
+
+namespace {
+
+int
+log2i(int v)
+{
+    int s = 0;
+    while ((1 << s) < v) ++s;
+    return s;
+}
+
+} // namespace
+
+OmegaNetwork::OmegaNetwork(int ports, int buffer_depth, int speedup)
+    : ports_(ports), stages_(log2i(ports)), bufferDepth_(buffer_depth),
+      speedup_(std::max(speedup, 1))
+{
+    if (ports < 2 || (ports & (ports - 1)) != 0)
+        fatal("OmegaNetwork: ports must be a power of two >= 2");
+    if (buffer_depth < 1) fatal("OmegaNetwork: buffer depth must be >= 1");
+    buffers_.resize(static_cast<std::size_t>(stages_));
+    rrState_.resize(static_cast<std::size_t>(stages_));
+    for (int s = 0; s < stages_; ++s) {
+        auto &stage = buffers_[static_cast<std::size_t>(s)];
+        stage.reserve(static_cast<std::size_t>(ports_));
+        for (int p = 0; p < ports_; ++p)
+            stage.emplace_back(static_cast<std::size_t>(bufferDepth_));
+        rrState_[static_cast<std::size_t>(s)]
+            .assign(static_cast<std::size_t>(ports_ / 2), 0);
+    }
+}
+
+int
+OmegaNetwork::shuffle(int port) const
+{
+    // Rotate the stages_-bit port id left by one.
+    return ((port << 1) | (port >> (stages_ - 1))) & (ports_ - 1);
+}
+
+bool
+OmegaNetwork::inject(const Flit &flit, int src)
+{
+    return buffers_[0][static_cast<std::size_t>(shuffle(src))].push(flit);
+}
+
+void
+OmegaNetwork::tick(Cycle, const Sink &sink)
+{
+    // Back-to-front: freeing a downstream slot this cycle lets the
+    // upstream stage use it this cycle (credit-based flow control).
+    for (int s = stages_ - 1; s >= 0; --s) {
+        auto &stage = buffers_[static_cast<std::size_t>(s)];
+        const int dest_bit = stages_ - 1 - s;
+        for (int r = 0; r < ports_ / 2; ++r) {
+            int out_used[2] = {0, 0};
+            int &rr = rrState_[static_cast<std::size_t>(s)]
+                              [static_cast<std::size_t>(r)];
+            // The fabric clock allows `speedup_` passes over the two
+            // inputs per PE cycle.
+            for (int pass = 0; pass < speedup_; ++pass) {
+                for (int i = 0; i < 2; ++i) {
+                    int in_port = 2 * r + ((rr + i) & 1);
+                    Fifo<Flit> &buf =
+                        stage[static_cast<std::size_t>(in_port)];
+                    if (buf.empty()) continue;
+                    const Flit &head = buf.front();
+                    int bit = (head.destPe >> dest_bit) & 1;
+                    if (out_used[bit] >= speedup_) {
+                        ++blocked_;
+                        continue;
+                    }
+                    int out_port = 2 * r + bit;
+                    if (s == stages_ - 1) {
+                        if (sink(head, out_port)) {
+                            buf.pop();
+                            ++out_used[bit];
+                            ++delivered_;
+                        } else {
+                            ++blocked_;
+                        }
+                    } else {
+                        int next_in = shuffle(out_port);
+                        Fifo<Flit> &next =
+                            buffers_[static_cast<std::size_t>(s + 1)]
+                                    [static_cast<std::size_t>(next_in)];
+                        if (next.push(head)) {
+                            buf.pop();
+                            ++out_used[bit];
+                        } else {
+                            ++blocked_;
+                        }
+                    }
+                }
+            }
+            rr ^= 1;  // alternate input priority
+        }
+    }
+}
+
+bool
+OmegaNetwork::empty() const
+{
+    for (const auto &stage : buffers_)
+        for (const auto &buf : stage)
+            if (!buf.empty()) return false;
+    return true;
+}
+
+std::size_t
+OmegaNetwork::peakBufferDepth() const
+{
+    std::size_t m = 0;
+    for (const auto &stage : buffers_)
+        for (const auto &buf : stage)
+            m = std::max(m, buf.peakOccupancy());
+    return m;
+}
+
+} // namespace awb

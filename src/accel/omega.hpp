@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Multi-stage Omega network used by TDQ-2 to route non-zero elements of
+ * the ultra-sparse CSC operand to the PE owning their row (paper §3.3).
+ *
+ * log2(P) stages of 2x2 routers, perfect-shuffle wiring between stages,
+ * one input buffer per router port ("Each router in the Omega-network has
+ * a local buffer in case the buffer of the next stage is saturated").
+ * Chosen over a crossbar for area: P/2·log2(P) routers vs P^2 crosspoints.
+ */
+
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "accel/task.hpp"
+#include "common/stats.hpp"
+#include "sim/fifo.hpp"
+
+namespace awb {
+
+/** Blocking multistage interconnect with per-port input buffers. */
+class OmegaNetwork
+{
+  public:
+    /**
+     * @param ports         network width (power of two, == PE count)
+     * @param buffer_depth  per-router-port buffer capacity (>= 1)
+     * @param speedup       flits one router output can pass per PE cycle
+     *                      (the switch fabric runs faster than the PE
+     *                      clock so routing conflicts do not starve the
+     *                      PEs; the paper sizes the network to match the
+     *                      PEs' aggregate consumption)
+     */
+    OmegaNetwork(int ports, int buffer_depth, int speedup = 2);
+
+    /** Destination port the sink callback will see for a flit. */
+    using Sink = std::function<bool(const Flit &, int out_port)>;
+
+    /**
+     * Offer a flit at input port `src`. Returns false when the stage-0
+     * buffer on that path is full (caller retries next cycle).
+     */
+    bool inject(const Flit &flit, int src);
+
+    /**
+     * One clock: stages advance in back-to-front order, each router moving
+     * at most one flit per output. Flits leaving the final stage are
+     * handed to `sink`; if the sink rejects (PE queue full), the flit
+     * stays buffered.
+     */
+    void tick(Cycle now, const Sink &sink);
+
+    /** No flits anywhere in the fabric. */
+    bool empty() const;
+
+    int ports() const { return ports_; }
+    int stages() const { return stages_; }
+
+    /** Largest buffer occupancy seen anywhere (area model input). */
+    std::size_t peakBufferDepth() const;
+
+    Count flitsDelivered() const { return delivered_; }
+    Count blockedMoves() const { return blocked_; }
+
+  private:
+    /** Perfect-shuffle permutation (rotate-left on log2(P) bits). */
+    int shuffle(int port) const;
+
+    int ports_;
+    int stages_;
+    int bufferDepth_;
+    int speedup_;
+    /** buffers_[s][p]: input buffer of stage s at port p. */
+    std::vector<std::vector<Fifo<Flit>>> buffers_;
+    /** Round-robin arbitration state per router per stage. */
+    std::vector<std::vector<int>> rrState_;
+    Count delivered_ = 0;
+    Count blocked_ = 0;
+};
+
+} // namespace awb

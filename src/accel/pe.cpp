@@ -1,0 +1,120 @@
+#include "accel/pe.hpp"
+
+#include <algorithm>
+
+namespace awb {
+
+Pe::Pe(int id, int num_queues, std::size_t queue_depth, int mac_latency)
+    : id_(id), macLatency_(mac_latency),
+      stats_("pe" + std::to_string(id) + ".")
+{
+    if (num_queues < 1) num_queues = 1;
+    queues_.reserve(static_cast<std::size_t>(num_queues));
+    for (int q = 0; q < num_queues; ++q)
+        queues_.emplace_back(queue_depth);
+    inflight_.reserve(static_cast<std::size_t>(mac_latency) + 1);
+}
+
+std::size_t
+Pe::pending() const
+{
+    std::size_t n = 0;
+    for (const auto &q : queues_) n += q.size();
+    return n;
+}
+
+bool
+Pe::drained(Cycle now) const
+{
+    if (pending() != 0) return false;
+    for (const auto &f : inflight_)
+        if (f.done > now) return false;
+    return true;
+}
+
+bool
+Pe::canAccept() const
+{
+    return std::any_of(queues_.begin(), queues_.end(),
+                       [](const Fifo<Task> &q) { return !q.full(); });
+}
+
+bool
+Pe::enqueue(const Task &task)
+{
+    Fifo<Task> *best = nullptr;
+    for (auto &q : queues_) {
+        if (q.full()) continue;
+        if (best == nullptr || q.size() < best->size()) best = &q;
+    }
+    if (best == nullptr) {
+        stats_.counter("enqueueRejects").inc();
+        return false;
+    }
+    best->push(task);
+    return true;
+}
+
+bool
+Pe::rowInFlight(Index row) const
+{
+    for (const auto &f : inflight_)
+        if (f.row == row) return true;
+    return false;
+}
+
+void
+Pe::tick(Cycle now, std::vector<Value> &acc)
+{
+    // Retire MAC ops whose pipeline delay has elapsed.
+    inflight_.erase(std::remove_if(inflight_.begin(), inflight_.end(),
+                                   [now](const InFlight &f) {
+                                       return f.done <= now;
+                                   }),
+                    inflight_.end());
+
+    // Arbiter: round-robin over queues, issue the first whose head does
+    // not RaW-conflict with an in-flight accumulation.
+    bool any_pending = false;
+    for (std::size_t i = 0; i < queues_.size(); ++i) {
+        auto qi = (nextQueue_ + i) % queues_.size();
+        Fifo<Task> &q = queues_[qi];
+        if (q.empty()) continue;
+        any_pending = true;
+        if (rowInFlight(q.front().row)) continue;
+
+        Task t = q.pop();
+        nextQueue_ = (qi + 1) % queues_.size();
+        // Functional accumulate (the value is architecturally visible
+        // only after the pipeline delay, which the scoreboard enforces).
+        acc[static_cast<std::size_t>(t.row)] += t.a * t.b;
+        inflight_.push_back({t.row, now + macLatency_});
+        lastBusy_ = now;
+        ++tasksRound_;
+        stats_.counter("tasks").inc();
+        stats_.counter("busyCycles").inc();
+        return;
+    }
+
+    if (any_pending) {
+        stats_.counter("rawStallCycles").inc();
+    } else {
+        stats_.counter("idleCycles").inc();
+    }
+}
+
+std::size_t
+Pe::peakQueueDepth() const
+{
+    std::size_t m = 0;
+    for (const auto &q : queues_) m = std::max(m, q.peakOccupancy());
+    return m;
+}
+
+void
+Pe::resetRound()
+{
+    tasksRound_ = 0;
+}
+
+} // namespace awb

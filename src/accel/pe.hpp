@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Processing element: multiple task queues, an arbiter, a pipelined
+ * floating-point MAC with a RaW-hazard scoreboard, and the AGU/ACC
+ * accumulation path (paper Fig. 7).
+ *
+ * The MAC is pipelined with latency T (`macLatency`): it accepts one task
+ * per cycle but a task whose accumulation target row is still in flight
+ * must wait (the scoreboard / stall-buffer of §3.3), otherwise it would
+ * read a stale partial sum from the ACC bank.
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "accel/task.hpp"
+#include "common/stats.hpp"
+#include "sim/fifo.hpp"
+
+namespace awb {
+
+/** One PE plus its slice of the accumulator-buffer array. */
+class Pe
+{
+  public:
+    /**
+     * @param id           PE index in the array
+     * @param num_queues   task queues in front of the arbiter
+     * @param queue_depth  per-queue capacity (0 = unbounded, measured)
+     * @param mac_latency  MAC pipeline depth T
+     * @param acc          shared result column (banked by row ownership;
+     *                     the engine passes one column per round)
+     */
+    Pe(int id, int num_queues, std::size_t queue_depth, int mac_latency);
+
+    int id() const { return id_; }
+
+    /** Total buffered tasks across this PE's queues ("pending counter"). */
+    std::size_t pending() const;
+
+    /** True when queues are empty and the MAC pipeline has drained. */
+    bool drained(Cycle now) const;
+
+    /** Can at least one queue accept a task? */
+    bool canAccept() const;
+
+    /**
+     * Enqueue a task into the shortest queue. Returns false when all
+     * queues are full (backpressure to the distribution network).
+     */
+    bool enqueue(const Task &task);
+
+    /**
+     * One clock: retire finished MAC ops, then let the arbiter issue the
+     * first hazard-free queue head into the MAC and accumulate into `acc`.
+     */
+    void tick(Cycle now, std::vector<Value> &acc);
+
+    /** Cycle the PE last issued real work (utilization accounting). */
+    Cycle lastBusyCycle() const { return lastBusy_; }
+
+    /** Tasks executed since the last resetRound(). */
+    Count tasksThisRound() const { return tasksRound_; }
+
+    /** Peak queue occupancy across all queues since construction. */
+    std::size_t peakQueueDepth() const;
+
+    /** Per-round reset of drain bookkeeping (queues must be empty). */
+    void resetRound();
+
+    StatSet &stats() { return stats_; }
+    const StatSet &stats() const { return stats_; }
+
+  private:
+    /** True if `row` is being accumulated in the MAC pipeline. */
+    bool rowInFlight(Index row) const;
+
+    int id_;
+    int macLatency_;
+    std::vector<Fifo<Task>> queues_;
+    std::size_t nextQueue_ = 0;  ///< round-robin arbiter state
+
+    /** Scoreboard: (row, completion cycle) of in-flight MAC ops. */
+    struct InFlight
+    {
+        Index row;
+        Cycle done;
+    };
+    std::vector<InFlight> inflight_;
+
+    Cycle lastBusy_ = -1;
+    Count tasksRound_ = 0;
+    StatSet stats_;
+};
+
+} // namespace awb

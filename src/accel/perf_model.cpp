@@ -1,0 +1,201 @@
+#include "accel/perf_model.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <numeric>
+
+#include "accel/gcn_accel.hpp"
+#include "accel/rebalance.hpp"
+#include "common/log.hpp"
+
+namespace awb {
+
+namespace {
+
+/** Online greedy sharing leaves a few percent on the table compared with
+ *  the optimal water-filling bound; calibrated against the cycle engine. */
+constexpr double kSharingInefficiency = 1.15;
+
+int
+log2i(int v)
+{
+    int s = 0;
+    while ((1 << s) < v) ++s;
+    return s;
+}
+
+/**
+ * Feasibility check for balancedDrain: can every PE's work be served
+ * within `hops` positions with per-PE capacity t? Greedy left-to-right
+ * serving the earliest-expiring work first (exact for interval-constrained
+ * transportation on a line).
+ */
+bool
+feasible(const std::vector<Count> &w, int hops, Cycle t,
+         std::vector<Count> *served)
+{
+    const int P = static_cast<int>(w.size());
+    if (served) served->assign(static_cast<std::size_t>(P), 0);
+    std::deque<std::pair<int, Count>> pending;  // (source PE, remaining)
+    int next_src = 0;
+    for (int s = 0; s < P; ++s) {
+        while (next_src < P && next_src <= s + hops) {
+            if (w[static_cast<std::size_t>(next_src)] > 0)
+                pending.emplace_back(
+                    next_src, w[static_cast<std::size_t>(next_src)]);
+            ++next_src;
+        }
+        // Work whose window has closed cannot be served any more.
+        if (!pending.empty() && pending.front().first < s - hops)
+            return false;
+        Count cap = t;
+        while (cap > 0 && !pending.empty()) {
+            auto &[src, rem] = pending.front();
+            Count take = std::min(cap, rem);
+            rem -= take;
+            cap -= take;
+            if (served) (*served)[static_cast<std::size_t>(s)] += take;
+            if (rem == 0) pending.pop_front();
+        }
+    }
+    return pending.empty();
+}
+
+} // namespace
+
+PerfModel::PerfModel(const AccelConfig &cfg) : cfg_(cfg) {}
+
+Cycle
+PerfModel::balancedDrain(const std::vector<Count> &pe_work, int hops,
+                         std::vector<Count> *served)
+{
+    const int P = static_cast<int>(pe_work.size());
+    Count total = std::accumulate(pe_work.begin(), pe_work.end(), Count(0));
+    Cycle lo = (total + P - 1) / P;
+    Cycle hi = *std::max_element(pe_work.begin(), pe_work.end());
+    if (hops <= 0 || lo >= hi) {
+        if (served) *served = pe_work;
+        return hi;
+    }
+    while (lo < hi) {
+        Cycle mid = lo + (hi - lo) / 2;
+        if (feasible(pe_work, hops, mid, nullptr)) {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    if (served) feasible(pe_work, hops, lo, served);
+    return lo;
+}
+
+PerfSpmmResult
+PerfModel::runSpmm(const std::vector<Count> &row_work, Index rounds,
+                   RowPartition &partition) const
+{
+    const int P = cfg_.numPes;
+    PerfSpmmResult res;
+    res.rounds = rounds;
+    res.roundCycles.reserve(static_cast<std::size_t>(rounds));
+
+    RemoteSwitcher switcher(cfg_, partition.rows());
+    res.perPeTasks.assign(static_cast<std::size_t>(P), 0);
+    const Cycle overhead = cfg_.macLatency + log2i(P) + 2;
+
+    std::vector<Count> served;
+    for (Index k = 0; k < rounds; ++k) {
+        std::vector<Count> pe_work = partition.workload(row_work);
+        Count total = std::accumulate(pe_work.begin(), pe_work.end(),
+                                      Count(0));
+        Cycle no_share =
+            *std::max_element(pe_work.begin(), pe_work.end());
+        Cycle drain = balancedDrain(pe_work, cfg_.sharingHops, &served);
+        if (cfg_.sharingHops > 0) {
+            // Online greedy sharing pays an inefficiency over the optimal
+            // water-filling, but never loses to not sharing at all.
+            drain = std::min(no_share,
+                             static_cast<Cycle>(static_cast<double>(drain) *
+                                                kSharingInefficiency));
+        }
+        Cycle inject = (total + P - 1) / P;
+        Cycle round_cycles = std::max(drain, inject) + overhead;
+        res.roundCycles.push_back(round_cycles);
+        res.cycles += round_cycles;
+        res.tasks += total;
+        res.idealCycles += inject;
+
+        // Peak queue depth: a PE's arrivals spread over the injection
+        // window while it drains at one task per cycle.
+        for (int p = 0; p < P; ++p) {
+            res.perPeTasks[static_cast<std::size_t>(p)] +=
+                served[static_cast<std::size_t>(p)];
+            Count backlog = served[static_cast<std::size_t>(p)] - inject;
+            if (backlog > 0) {
+                res.peakQueueDepth = std::max(
+                    res.peakQueueDepth, static_cast<std::size_t>(backlog));
+            }
+        }
+
+        if (cfg_.remoteSwitching && k + 1 < rounds) {
+            // PESM ranks by home-attributed load (see SpmmEngine): the
+            // switchable quantity is row ownership, not where sharing
+            // happened to execute the tasks.
+            RoundObservation obs;
+            obs.peWork = pe_work;
+            obs.drainCycle.assign(served.begin(), served.end());
+            switcher.observeAndAdjust(obs, row_work, partition);
+        }
+    }
+
+    res.peakQueueDepth = std::max<std::size_t>(
+        res.peakQueueDepth,
+        static_cast<std::size_t>(cfg_.numQueuesPerPe));
+    res.syncCycles = std::max<Cycle>(0, res.cycles - res.idealCycles);
+    res.utilization = res.cycles > 0
+        ? static_cast<double>(res.tasks) /
+          (static_cast<double>(P) * static_cast<double>(res.cycles))
+        : 0.0;
+    res.rowsSwitched = switcher.totalRowsMoved();
+    res.convergedRound = switcher.convergedRound();
+    return res;
+}
+
+PerfGcnResult
+PerfModel::runGcn(const WorkloadProfile &profile) const
+{
+    const Index n = profile.spec.nodes;
+    PerfGcnResult res;
+    RowPartition part_a(n, cfg_.numPes, cfg_.mapPolicy);
+
+    struct LayerIn
+    {
+        const std::vector<Count> *xRow;
+        Index rounds;
+    };
+    const LayerIn layers[2] = {
+        {&profile.x1RowNnz, profile.spec.f2},
+        {&profile.x2RowNnz, profile.spec.f3},
+    };
+
+    for (const LayerIn &li : layers) {
+        PerfGcnResult::Layer layer;
+        RowPartition part_x(n, cfg_.numPes, cfg_.mapPolicy);
+        layer.xw = runSpmm(*li.xRow, li.rounds, part_x);
+        layer.ax = runSpmm(profile.aRowNnz, li.rounds, part_a);
+        layer.pipelinedCycles =
+            pipelineCycles(layer.xw.roundCycles, layer.ax.roundCycles);
+        res.totalCycles += layer.pipelinedCycles;
+        res.totalCyclesSerial += layer.xw.cycles + layer.ax.cycles;
+        res.totalTasks += layer.xw.tasks + layer.ax.tasks;
+        res.layers.push_back(std::move(layer));
+    }
+
+    res.utilization = res.totalCyclesSerial > 0
+        ? static_cast<double>(res.totalTasks) /
+          (static_cast<double>(cfg_.numPes) *
+           static_cast<double>(res.totalCyclesSerial))
+        : 0.0;
+    return res;
+}
+
+} // namespace awb

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Round-level performance model of the AWB-SPMM engine.
+ *
+ * Per processed column ("round") the engine's behaviour is determined by
+ * the per-PE task counts: a PE's tasks equal the summed row-nnz of the
+ * rows it owns, local sharing spreads a PE's surplus to PEs within `hops`
+ * positions, and the round ends when the slowest PE drains (per-column
+ * barrier, §3.3). This model computes those quantities directly instead of
+ * simulating every cycle, which makes full-scale Reddit (≈24M non-zeros ×
+ * 64 columns) tractable; DESIGN.md §4 explains the validation against the
+ * cycle-accurate engine.
+ *
+ * It drives the *same* RemoteSwitcher as the cycle engine, so auto-tuning
+ * decisions are identical between fidelities.
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "accel/config.hpp"
+#include "accel/row_map.hpp"
+#include "graph/datasets.hpp"
+
+namespace awb {
+
+/** Round-level results of one SPMM (mirrors SpmmStats). */
+struct PerfSpmmResult
+{
+    Cycle cycles = 0;
+    Count tasks = 0;
+    Cycle idealCycles = 0;
+    Cycle syncCycles = 0;
+    double utilization = 0.0;
+    Count rounds = 0;
+    Count rowsSwitched = 0;
+    Count convergedRound = -1;
+    std::size_t peakQueueDepth = 0;
+    std::vector<Cycle> roundCycles;
+    std::vector<Count> perPeTasks;  ///< modelled executed tasks per PE
+};
+
+/** Round-level results of a full GCN inference. */
+struct PerfGcnResult
+{
+    struct Layer
+    {
+        PerfSpmmResult xw;
+        PerfSpmmResult ax;
+        Cycle pipelinedCycles = 0;
+    };
+    std::vector<Layer> layers;
+    Cycle totalCycles = 0;        ///< with inter-SPMM column pipelining
+    Cycle totalCyclesSerial = 0;
+    Count totalTasks = 0;
+    double utilization = 0.0;
+};
+
+/** The model. Stateless between runs apart from configuration. */
+class PerfModel
+{
+  public:
+    explicit PerfModel(const AccelConfig &cfg);
+
+    /**
+     * Model one SPMM.
+     *
+     * @param row_work   tasks per sparse-operand row (its row-nnz)
+     * @param rounds     dense-operand column count
+     * @param partition  row map, mutated by remote switching
+     */
+    PerfSpmmResult runSpmm(const std::vector<Count> &row_work, Index rounds,
+                           RowPartition &partition) const;
+
+    /**
+     * Model a full 2-layer GCN inference from a workload profile
+     * (full-scale capable). The adjacency partition persists across
+     * layers, as in the cycle-accurate accelerator.
+     */
+    PerfGcnResult runGcn(const WorkloadProfile &profile) const;
+
+    /**
+     * Given per-PE workloads and the sharing hop distance, the minimum
+     * achievable drain time (water-filling with locality): the smallest t
+     * such that every PE's work can be served by PEs within `hops` of it
+     * with per-PE capacity t. Exposed for testing.
+     */
+    static Cycle balancedDrain(const std::vector<Count> &pe_work, int hops,
+                               std::vector<Count> *served = nullptr);
+
+  private:
+    AccelConfig cfg_;
+};
+
+} // namespace awb

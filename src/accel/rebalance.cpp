@@ -1,0 +1,199 @@
+#include "accel/rebalance.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <numeric>
+
+#include "common/log.hpp"
+
+namespace awb {
+
+RemoteSwitcher::RemoteSwitcher(const AccelConfig &cfg, Index num_rows)
+    : cfg_(cfg)
+{
+    // R in Eq. 5: the per-PE workload under equal partition, measured in
+    // rows (N counts rows of A).
+    initialWorkR_ = std::max<Count>(1, num_rows / cfg.numPes);
+}
+
+Count
+RemoteSwitcher::eq5Increment(Count gap, Count first_gap) const
+{
+    if (first_gap <= 0) return 0;
+    if (!cfg_.approximateEq5) {
+        double frac = static_cast<double>(gap) /
+                      static_cast<double>(first_gap);
+        return static_cast<Count>(frac *
+                                  static_cast<double>(initialWorkR_) / 2.0);
+    }
+    // Hardware-efficient approximation (§4.2 mentions one without
+    // detailing it): quantize G_1 up to the next power of two so the
+    // division becomes a shift; the multiply by R/2 stays an integer
+    // multiply. Underestimates by at most 2x, which only slows
+    // convergence by about one round.
+    int shift = 0;
+    while ((Count(1) << shift) < first_gap) ++shift;
+    return (gap * (initialWorkR_ / 2)) >> shift;
+}
+
+int
+RemoteSwitcher::observeAndAdjust(const RoundObservation &obs,
+                                 const std::vector<Count> &row_work,
+                                 RowPartition &partition)
+{
+    ++round_;
+    if (converged_) return 0;
+    const int P = cfg_.numPes;
+    if (static_cast<int>(obs.peWork.size()) != P)
+        panic("RemoteSwitcher: observation size mismatch");
+
+    // Thaw expired freeze entries (hotspots whose rows proved unswitchable
+    // — e.g. a PE left with one giant row; re-examined after a few rounds).
+    for (auto it = frozen_.begin(); it != frozen_.end();) {
+        if (it->second + 3 <= round_) {
+            it = frozen_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+
+    // --- PESM: hotspot = last PE to drain (the recorded Psi when every
+    // empty signal has fired), coldspot = first to go idle. Local sharing
+    // smears execution across neighbours, so the drain signal naturally
+    // walks over every PE of a congested region as rounds proceed.
+    auto later = [&](int a, int b) {
+        if (obs.drainCycle[static_cast<std::size_t>(a)] !=
+            obs.drainCycle[static_cast<std::size_t>(b)])
+            return obs.drainCycle[static_cast<std::size_t>(a)] >
+                   obs.drainCycle[static_cast<std::size_t>(b)];
+        return obs.peWork[static_cast<std::size_t>(a)] >
+               obs.peWork[static_cast<std::size_t>(b)];
+    };
+    int hot = -1, cold = -1;
+    for (int p = 0; p < P; ++p) {
+        if (!frozen_.count(p) && (hot == -1 || later(p, hot))) hot = p;
+        if (cold == -1 || later(cold, p)) cold = p;
+    }
+    if (hot == -1) return 0;
+    Count gap = (hot == cold)
+        ? 0
+        : obs.drainCycle[static_cast<std::size_t>(hot)] -
+          obs.drainCycle[static_cast<std::size_t>(cold)];
+
+    // --- Convergence check: the drain gap fell below 10% of the mean
+    // (further switching cannot buy meaningful cycles), or it stopped
+    // improving for several rounds (granularity floor — e.g. a single
+    // row heavier than the mean PE load cannot be split).
+    Count total = std::accumulate(obs.drainCycle.begin(),
+                                  obs.drainCycle.end(), Count(0));
+    Count mean = total / P;
+    if (gap < bestGap_) {
+        bestGap_ = gap;
+        stallRounds_ = 0;
+    } else {
+        ++stallRounds_;
+    }
+    if (gap <= std::max<Count>(1, mean / 10) || stallRounds_ >= 6) {
+        converged_ = true;
+        convergedRound_ = round_;
+        return 0;
+    }
+
+    // --- UGT: find the tracking slot for this tuple, or open one.
+    bool created = false;
+    Tuple *current = nullptr;
+    for (auto &t : window_) {
+        if (t.hot == hot && t.cold == cold) {
+            current = &t;
+            break;
+        }
+    }
+    if (current == nullptr) {
+        // First sighting: Eq. 5 gives N_1 = 0 for this tuple — measure
+        // only (avoids thrashing on a gap local sharing may yet absorb).
+        window_.push_back({hot, cold, gap, 0, round_});
+        while (static_cast<int>(window_.size()) > cfg_.trackingWindow)
+            window_.pop_front();
+        created = true;
+    }
+
+    // --- Every tracked tuple is updated per round according to Eq. 5
+    // (the paper keeps slots for the tuples of the current and previous
+    // rounds and adjusts each of them every round).
+    int moved = 0;
+    for (auto &t : window_) {
+        if (t.createdRound == round_ && created) continue;  // N_1 = 0
+        Count t_gap = obs.drainCycle[static_cast<std::size_t>(t.hot)] -
+                      obs.drainCycle[static_cast<std::size_t>(t.cold)];
+        if (t_gap <= std::max<Count>(1, mean / 10)) continue;
+
+        Count increment = eq5Increment(t_gap, t.firstGap);
+        if (increment <= 0) increment = 1;
+        t.switched += increment;
+        int m = shuffleRows(t.hot, t.cold, t_gap, increment, row_work,
+                            partition);
+        if (m == 0) frozen_[t.hot] = round_;
+        moved += m;
+    }
+    totalMoved_ += moved;
+    return moved;
+}
+
+int
+RemoteSwitcher::shuffleRows(int hot, int cold, Count gap, Count budget_rows,
+                            const std::vector<Count> &row_work,
+                            RowPartition &partition)
+{
+    // --- SLT: swap (heaviest-of-hot, lightest-of-cold) row pairs. The
+    // Eq. 5 row budget caps how many entries the shuffling switches
+    // rewrite per tuple per round; the workload actually transferred must
+    // not overshoot half the observed drain gap, or the coldspot would
+    // simply become the next hotspot and the tuning would thrash.
+    auto sorted_rows = [&](int pe, bool heaviest) {
+        std::vector<Index> rows = partition.rowsOf(pe);
+        std::sort(rows.begin(), rows.end(), [&](Index a, Index b) {
+            Count wa = row_work[static_cast<std::size_t>(a)];
+            Count wb = row_work[static_cast<std::size_t>(b)];
+            if (wa != wb) return heaviest ? wa > wb : wa < wb;
+            return a < b;
+        });
+        return rows;
+    };
+    auto hot_sorted = sorted_rows(hot, /*heaviest=*/true);
+    auto cold_sorted = sorted_rows(cold, /*heaviest=*/false);
+    Count budget = std::min<Count>(
+        budget_rows, std::min(static_cast<Count>(hot_sorted.size()),
+                              static_cast<Count>(cold_sorted.size())));
+
+    std::vector<Index> hot_rows, cold_rows;
+    Count transferred = 0;
+    // Equalize without overshoot. With local sharing active, hot and cold
+    // are representatives of their sharing windows: moving work between
+    // them shifts each window's level by transferred/(2h+1), so the
+    // equalizing transfer is (gap/2) x window size.
+    const Count window = 2 * static_cast<Count>(cfg_.sharingHops) + 1;
+    const Count target = (gap / 2) * window;
+    std::size_t cold_i = 0;
+    for (std::size_t hot_i = 0;
+         hot_i < hot_sorted.size() && cold_i < cold_sorted.size() &&
+         static_cast<Count>(hot_rows.size()) < budget;
+         ++hot_i) {
+        Count hw = row_work[static_cast<std::size_t>(hot_sorted[hot_i])];
+        Count cw = row_work[static_cast<std::size_t>(cold_sorted[cold_i])];
+        Count delta = hw - cw;
+        if (delta <= 0) break;
+        // A row too heavy for the remaining budget is skipped — smaller
+        // rows further down may still fit (heavy indivisible rows are
+        // local sharing's job, not remote switching's).
+        if (transferred + delta > target + target / 8) continue;
+        transferred += delta;
+        hot_rows.push_back(hot_sorted[hot_i]);
+        cold_rows.push_back(cold_sorted[cold_i]);
+        ++cold_i;
+    }
+    if (hot_rows.empty()) return 0;
+    partition.swapRows(hot_rows, cold_rows, hot, cold);
+    return static_cast<int>(hot_rows.size() + cold_rows.size());
+}
+
+} // namespace awb

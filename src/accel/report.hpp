@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Human-readable reporting of accelerator runs: the per-PE utilization
+ * heat map of paper Fig. 10 (blue 0% .. red 200% rendered as an ASCII
+ * gradient), and row-map persistence so a converged auto-tuned
+ * configuration can be saved and reused across inferences of the same
+ * graph (§4: "the ideal configuration is reused for the remaining
+ * iterations").
+ */
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "accel/row_map.hpp"
+#include "common/types.hpp"
+
+namespace awb {
+
+/**
+ * Render per-PE load as an ASCII heat strip. Each character encodes one
+ * PE's load relative to the mean: ' ' (idle) '.' ':' '-' '=' '+' '*' '#'
+ * '%' '@' (≥2x mean), mirroring the paper's blue-to-red heat map. Long
+ * arrays are bucketed down to `width` characters (mean within bucket).
+ *
+ * @param pe_tasks  executed tasks (or any load measure) per PE
+ * @param width     maximum strip width in characters
+ */
+std::string utilizationHeatmap(const std::vector<Count> &pe_tasks,
+                               std::size_t width = 64);
+
+/** Write a row->PE map as a compact text format (versioned header). */
+void savePartition(std::ostream &out, const RowPartition &partition);
+
+/** Save to a file; fatal() on IO failure. */
+void savePartitionFile(const std::string &path,
+                       const RowPartition &partition);
+
+/**
+ * Restore a previously saved row map. The stored row count and PE count
+ * must match a fresh partition's (same graph, same array size);
+ * fatal() otherwise.
+ */
+RowPartition loadPartition(std::istream &in);
+
+/** Load from a file; fatal() on IO failure. */
+RowPartition loadPartitionFile(const std::string &path);
+
+} // namespace awb

@@ -1,0 +1,309 @@
+#include "accel/spmm_engine.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "accel/local_share.hpp"
+#include "accel/omega.hpp"
+#include "accel/pe.hpp"
+#include "accel/rebalance.hpp"
+#include "common/log.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace awb {
+
+namespace {
+
+/** Flattened column-major non-zero stream of the sparse operand. */
+struct NnzStream
+{
+    std::vector<Index> row;
+    std::vector<Index> col;
+    std::vector<Count> densePos;  ///< column-major element index (TDQ-1)
+    std::vector<Value> val;
+
+    explicit NnzStream(const CscMatrix &a)
+    {
+        auto nnz = static_cast<std::size_t>(a.nnz());
+        row.reserve(nnz);
+        col.reserve(nnz);
+        densePos.reserve(nnz);
+        val.reserve(nnz);
+        for (Index j = 0; j < a.cols(); ++j) {
+            for (Count p = a.colPtr()[static_cast<std::size_t>(j)];
+                 p < a.colPtr()[static_cast<std::size_t>(j) + 1]; ++p) {
+                Index r = a.rowId()[static_cast<std::size_t>(p)];
+                row.push_back(r);
+                col.push_back(j);
+                densePos.push_back(static_cast<Count>(j) * a.rows() + r);
+                val.push_back(a.val()[static_cast<std::size_t>(p)]);
+            }
+        }
+    }
+
+    std::size_t size() const { return row.size(); }
+};
+
+} // namespace
+
+SpmmEngine::SpmmEngine(const AccelConfig &cfg) : cfg_(cfg) {}
+
+DenseMatrix
+SpmmEngine::run(const CscMatrix &a, const DenseMatrix &b, TdqKind kind,
+                RowPartition &partition, SpmmStats &stats)
+{
+    if (a.cols() != b.rows()) panic("SpmmEngine: inner dimensions differ");
+    if (partition.rows() != a.rows())
+        panic("SpmmEngine: partition rows != operand rows");
+    if (kind == TdqKind::Tdq2OmegaCsc && cfg_.numPes >= 2 &&
+        (cfg_.numPes & (cfg_.numPes - 1)) != 0) {
+        fatal("cycle-accurate TDQ-2 needs a power-of-two PE count "
+              "(Omega network); use the round-level model otherwise");
+    }
+
+    const int P = cfg_.numPes;
+    const Index m = a.rows();
+    const Index K = b.cols();
+    DenseMatrix c(m, K);
+
+    NnzStream stream(a);
+    const auto n_flits = stream.size();
+    const std::vector<Count> row_work = a.rowNnz();
+
+    // --- Build the PE array.
+    std::vector<Pe> pes;
+    pes.reserve(static_cast<std::size_t>(P));
+    for (int p = 0; p < P; ++p)
+        pes.emplace_back(p, cfg_.numQueuesPerPe, cfg_.queueDepth,
+                         cfg_.macLatency);
+
+    LocalSharer sharer(cfg_.sharingHops);
+    RemoteSwitcher switcher(cfg_, m);
+    const bool use_net = (kind == TdqKind::Tdq2OmegaCsc) && P >= 2;
+    OmegaNetwork net(std::max(P, 2), cfg_.omegaBufferDepth,
+                     cfg_.networkSpeedup);
+
+    // TDQ-1 scan width: fetch enough dense elements per cycle that, with
+    // evenly distributed non-zeros, about P non-zeros emerge per cycle
+    // (paper: N_PE / (1 - sparsity) data forwarded per cycle).
+    const double elems = static_cast<double>(a.rows()) *
+                         static_cast<double>(a.cols());
+    const double density =
+        elems > 0.0 ? static_cast<double>(a.nnz()) / elems : 1.0;
+    Count scan_width = cfg_.streamWidth > 0
+        ? cfg_.streamWidth
+        : static_cast<Count>(static_cast<double>(P) /
+                             std::max(density, 1e-9));
+    scan_width = std::max<Count>(scan_width, 1);
+    const int inject_width = cfg_.injectWidth > 0 ? cfg_.injectWidth : P;
+    const int accept_cap = cfg_.receivePorts;
+
+    // Per-round bookkeeping reused across rounds.
+    std::vector<Value> acc(static_cast<std::size_t>(m), Value(0));
+    std::vector<int> accepted(static_cast<std::size_t>(P), 0);
+    std::vector<Cycle> drain(static_cast<std::size_t>(P), 0);
+    // Dispatch-side (home-attributed) task counters: what the PESM's
+    // distribution-point monitors see. Local sharing smears *execution*
+    // across neighbours, but the switchable quantity is row ownership,
+    // so hotspot/coldspot identification must rank by home load.
+    std::vector<Count> home_tasks(static_cast<std::size_t>(P), 0);
+
+    stats = SpmmStats{};
+    stats.rounds = K;
+    stats.perPeTasks.assign(static_cast<std::size_t>(P), 0);
+    Cycle now = 0;
+
+    for (Index k = 0; k < K; ++k) {
+        std::fill(acc.begin(), acc.end(), Value(0));
+        std::fill(home_tasks.begin(), home_tasks.end(), 0);
+        for (auto &pe : pes) pe.resetRound();
+        const Cycle round_start = now;
+        std::size_t next = 0;    // next flit to dispatch (TDQ-1)
+        Count scan_pos = 0;      // TDQ-1 dense-scan pointer
+        // TDQ-2: the CSC array is banked P ways; each bank feeds one
+        // network port through its own read pointer, so a congested path
+        // stalls only its own lane (port p streams flits p, p+P, ...).
+        std::vector<std::size_t> port_next(static_cast<std::size_t>(P));
+        std::size_t lanes_done = 0;
+        for (int p = 0; p < P; ++p) {
+            port_next[static_cast<std::size_t>(p)] =
+                static_cast<std::size_t>(p);
+            if (static_cast<std::size_t>(p) >= n_flits) ++lanes_done;
+        }
+
+        // Deliver a task to its (possibly shared) destination.
+        auto deliver = [&](std::size_t f) -> bool {
+            int home = partition.owner(stream.row[f]);
+            int target;
+            if (sharer.hops() > 0) {
+                target = sharer.choose(home, pes, &accepted, accept_cap);
+            } else {
+                target =
+                    (accepted[static_cast<std::size_t>(home)] < accept_cap &&
+                     pes[static_cast<std::size_t>(home)].canAccept())
+                        ? home : -1;
+            }
+            if (target < 0) return false;
+            Task t{stream.row[f], stream.val[f],
+                   b.at(stream.col[f], k), home};
+            if (!pes[static_cast<std::size_t>(target)].enqueue(t))
+                return false;
+            ++accepted[static_cast<std::size_t>(target)];
+            ++home_tasks[static_cast<std::size_t>(home)];
+            return true;
+        };
+
+        while (true) {
+            // 1. PEs consume (they see queue state from previous cycles).
+            for (auto &pe : pes) pe.tick(now, acc);
+
+            std::fill(accepted.begin(), accepted.end(), 0);
+
+            // 2. Network advances and delivers into queues.
+            if (use_net) {
+                net.tick(now, [&](const Flit &flit, int out_port) {
+                    if (out_port != flit.destPe)
+                        panic("Omega routing invariant violated");
+                    int home = flit.destPe;
+                    int target;
+                    if (sharer.hops() > 0) {
+                        target = sharer.choose(home, pes, &accepted,
+                                               accept_cap);
+                    } else {
+                        target = accepted[static_cast<std::size_t>(home)] <
+                                 accept_cap ? home : -1;
+                    }
+                    if (target < 0) return false;
+                    if (!pes[static_cast<std::size_t>(target)]
+                             .enqueue(flit.task))
+                        return false;
+                    ++accepted[static_cast<std::size_t>(target)];
+                    ++home_tasks[static_cast<std::size_t>(home)];
+                    return true;
+                });
+            }
+
+            // 3. Injection.
+            if (kind == TdqKind::Tdq1DenseScan) {
+                scan_pos += scan_width;
+                while (next < n_flits && stream.densePos[next] < scan_pos) {
+                    if (!deliver(next)) {
+                        // Backpressure: the scan stalls at this element.
+                        scan_pos = stream.densePos[next];
+                        break;
+                    }
+                    ++next;
+                }
+            } else if (use_net) {
+                int injected = 0;
+                for (int p = 0; p < P && injected < inject_width; ++p) {
+                    std::size_t &cursor =
+                        port_next[static_cast<std::size_t>(p)];
+                    if (cursor >= n_flits) continue;
+                    int home = partition.owner(stream.row[cursor]);
+                    Flit flit{Task{stream.row[cursor], stream.val[cursor],
+                                   b.at(stream.col[cursor], k), home},
+                              home};
+                    if (!net.inject(flit, p)) continue;
+                    cursor += static_cast<std::size_t>(P);
+                    ++injected;
+                    if (cursor >= n_flits) ++lanes_done;
+                }
+            } else {
+                // Degenerate single-PE TDQ-2: direct delivery.
+                int injected = 0;
+                while (next < n_flits && injected < inject_width) {
+                    if (!deliver(next)) break;
+                    ++next;
+                    ++injected;
+                }
+            }
+
+            ++now;
+            if (now - round_start > cfg_.maxCyclesPerRound)
+                panic("SpmmEngine: round watchdog expired");
+
+            bool stream_done = use_net
+                ? (lanes_done == static_cast<std::size_t>(P))
+                : (next >= n_flits);
+            if (!stream_done) continue;
+            if (use_net && !net.empty()) continue;
+            bool done = true;
+            for (const auto &pe : pes) {
+                if (!pe.drained(now)) {
+                    done = false;
+                    break;
+                }
+            }
+            if (done) break;
+        }
+
+        // Commit the finished column of C.
+        for (Index r = 0; r < m; ++r)
+            c.at(r, k) = acc[static_cast<std::size_t>(r)];
+
+        // Round accounting.
+        const Cycle round_cycles = now - round_start;
+        if (std::getenv("AWB_DEBUG_ROUND") && k == 0) {
+            std::fprintf(stderr, "round0 cycles=%lld\n",
+                         static_cast<long long>(round_cycles));
+            for (int p = 0; p < P; ++p) {
+                std::fprintf(stderr, "pe%02d exec=%lld home=%lld last=%lld\n",
+                    p,
+                    static_cast<long long>(
+                        pes[static_cast<std::size_t>(p)].tasksThisRound()),
+                    static_cast<long long>(
+                        home_tasks[static_cast<std::size_t>(p)]),
+                    static_cast<long long>(
+                        pes[static_cast<std::size_t>(p)].lastBusyCycle() -
+                        round_start));
+            }
+        }
+        stats.roundCycles.push_back(round_cycles);
+        Count round_tasks = 0;
+        RoundObservation obs;
+        obs.peWork.resize(static_cast<std::size_t>(P));
+        obs.drainCycle.resize(static_cast<std::size_t>(P));
+        for (int p = 0; p < P; ++p) {
+            Count t = pes[static_cast<std::size_t>(p)].tasksThisRound();
+            round_tasks += t;
+            stats.perPeTasks[static_cast<std::size_t>(p)] += t;
+            // peWork: home-attributed load (what row swaps can change);
+            // drainCycle: the actual empty-signal timing the PESM sees.
+            obs.peWork[static_cast<std::size_t>(p)] =
+                home_tasks[static_cast<std::size_t>(p)];
+            Cycle last = pes[static_cast<std::size_t>(p)].lastBusyCycle();
+            obs.drainCycle[static_cast<std::size_t>(p)] =
+                (t > 0 && last >= round_start) ? last - round_start : 0;
+            drain[static_cast<std::size_t>(p)] =
+                obs.drainCycle[static_cast<std::size_t>(p)];
+        }
+        stats.tasks += round_tasks;
+        stats.idealCycles += (round_tasks + P - 1) / P;
+
+        // Remote switching auto-tunes the row map for the next round.
+        if (cfg_.remoteSwitching && k + 1 < K)
+            switcher.observeAndAdjust(obs, row_work, partition);
+    }
+
+    stats.cycles = now;
+    stats.syncCycles = std::max<Cycle>(0, stats.cycles - stats.idealCycles);
+    stats.utilization = stats.cycles > 0
+        ? static_cast<double>(stats.tasks) /
+          (static_cast<double>(P) * static_cast<double>(stats.cycles))
+        : 0.0;
+    stats.rowsSwitched = switcher.totalRowsMoved();
+    stats.convergedRound = switcher.convergedRound();
+    for (const auto &pe : pes) {
+        stats.peakQueueDepth =
+            std::max(stats.peakQueueDepth, pe.peakQueueDepth());
+        if (const Counter *cn = pe.stats().find("rawStallCycles"))
+            stats.rawStalls += cn->value();
+    }
+    if (use_net) stats.peakNetworkDepth = net.peakBufferDepth();
+    return c;
+}
+
+} // namespace awb

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Cycle-accurate AWB-SPMM engine (paper Figs. 7 and 12): computes
+ * C = A × B for a sparse A (CSC) and dense B, streaming B column by
+ * column ("rounds", Eq. 4) through either
+ *
+ *  - TDQ-1: dense-format scan of a general-sparse operand (the X×W SPMM);
+ *    a configurable scan width extracts non-zeros into per-PE task queues;
+ *  - TDQ-2: CSC non-zero stream routed by the Omega network (the A×(XW)
+ *    SPMM over the ultra-sparse adjacency).
+ *
+ * Dynamic local sharing diverts tasks to under-loaded neighbour PEs at
+ * enqueue time; dynamic remote switching rewrites the row map between
+ * rounds until the RemoteSwitcher converges, after which the tuned map is
+ * reused for the remaining columns. A per-column barrier separates rounds
+ * (§3.3: synchronization happens when a full column of C is complete).
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "accel/config.hpp"
+#include "accel/row_map.hpp"
+#include "sparse/csc.hpp"
+#include "sparse/dense.hpp"
+
+namespace awb {
+
+/** Which task-distribution path feeds the PEs. */
+enum class TdqKind
+{
+    Tdq1DenseScan,  ///< operand stored dense, scanned with zero-skip
+    Tdq2OmegaCsc,   ///< operand in CSC, routed through the Omega network
+};
+
+/** Cycle-level results of one SPMM execution. */
+struct SpmmStats
+{
+    std::string label;
+    Cycle cycles = 0;          ///< total execution cycles (all rounds)
+    Count tasks = 0;           ///< MAC operations executed
+    Cycle idealCycles = 0;     ///< sum over rounds of ceil(tasks_r / P)
+    Cycle syncCycles = 0;      ///< cycles - idealCycles (barrier waiting)
+    double utilization = 0.0;  ///< tasks / (P * cycles)
+    std::size_t peakQueueDepth = 0;    ///< worst per-PE TQ occupancy
+    std::size_t peakNetworkDepth = 0;  ///< worst Omega buffer occupancy
+    Count rounds = 0;
+    Count rowsSwitched = 0;    ///< rows moved by remote switching
+    Count convergedRound = -1; ///< auto-tuning convergence round
+    Count rawStalls = 0;       ///< cycles lost to RaW hazards (summed)
+    std::vector<Cycle> roundCycles;   ///< per-round duration (pipelining)
+    std::vector<Count> perPeTasks;    ///< executed tasks per PE (heat map)
+};
+
+/**
+ * The SPMM engine. One instance may execute several SPMMs; each run's
+ * partition argument carries tuned row maps across invocations (the
+ * adjacency matrix is reused every layer, so its map keeps improving).
+ */
+class SpmmEngine
+{
+  public:
+    explicit SpmmEngine(const AccelConfig &cfg);
+
+    /**
+     * Execute C = a × b cycle-accurately.
+     *
+     * @param a          sparse operand in CSC
+     * @param b          dense operand (rows == a.cols())
+     * @param kind       distribution path (TDQ-1 or TDQ-2)
+     * @param partition  row map; mutated by remote switching
+     * @param stats      filled with cycle-level results
+     * @return the dense result matrix (functionally exact)
+     */
+    DenseMatrix run(const CscMatrix &a, const DenseMatrix &b, TdqKind kind,
+                    RowPartition &partition, SpmmStats &stats);
+
+  private:
+    AccelConfig cfg_;
+};
+
+} // namespace awb

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * The unit of work flowing through the accelerator: one scalar
+ * multiply-accumulate a(row, j) * b(j, k) destined for result element
+ * C(row, k). Column indices are implicit (the engine processes one column
+ * k per round, and b is captured by value at dispatch).
+ */
+
+#pragma once
+
+#include "common/types.hpp"
+
+namespace awb {
+
+/** One MAC task. */
+struct Task
+{
+    Index row;    ///< result row (row of the sparse operand)
+    Value a;      ///< sparse-operand value
+    Value b;      ///< dense-operand value b(j, k), broadcast per column j
+    int homePe;   ///< PE whose ACC bank owns `row` (result returns here
+                  ///< when the task was diverted by local sharing)
+};
+
+/** A task wrapped with its Omega-network destination. */
+struct Flit
+{
+    Task task;
+    int destPe;
+};
+
+} // namespace awb

@@ -1,0 +1,17 @@
+#include "common/stats.hpp"
+
+#include <sstream>
+
+namespace awb {
+
+std::string
+StatSet::dump() const
+{
+    std::ostringstream os;
+    for (const auto &kv : counters_) {
+        os << kv.second.name() << " " << kv.second.value() << "\n";
+    }
+    return os.str();
+}
+
+} // namespace awb

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Lightweight statistics primitives for the simulator.
+ *
+ * Modelled loosely on the gem5 stats package: named scalar counters and
+ * histograms registered in a StatSet that can be dumped as text. Every
+ * simulated component owns counters here rather than ad-hoc ints so that
+ * benches can introspect utilization, queue occupancy, stall causes, etc.
+ */
+
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace awb {
+
+/** Named monotonically increasing scalar statistic. */
+class Counter
+{
+  public:
+    Counter() = default;
+    explicit Counter(std::string name) : name_(std::move(name)) {}
+
+    void inc(Count v = 1) { value_ += v; }
+    void set(Count v) { value_ = v; }
+    Count value() const { return value_; }
+    const std::string &name() const { return name_; }
+    void reset() { value_ = 0; }
+
+  private:
+    std::string name_;
+    Count value_ = 0;
+};
+
+/**
+ * Running summary statistics (min/max/mean) plus a fixed-width histogram
+ * over a configurable range. Out-of-range samples clamp into the first or
+ * last bucket, mirroring hardware saturating counters.
+ */
+class Histogram
+{
+  public:
+    Histogram() : Histogram("", 0.0, 1.0, 10) {}
+
+    Histogram(std::string name, double lo, double hi, int buckets)
+        : name_(std::move(name)), lo_(lo), hi_(hi),
+          counts_(static_cast<std::size_t>(std::max(buckets, 1)), 0)
+    {}
+
+    /** Record one sample. */
+    void
+    sample(double v)
+    {
+        ++n_;
+        sum_ += v;
+        min_ = (n_ == 1) ? v : std::min(min_, v);
+        max_ = (n_ == 1) ? v : std::max(max_, v);
+        double t = (v - lo_) / (hi_ - lo_);
+        auto b = static_cast<std::int64_t>(t * static_cast<double>(size()));
+        b = std::clamp<std::int64_t>(b, 0,
+                                     static_cast<std::int64_t>(size()) - 1);
+        ++counts_[static_cast<std::size_t>(b)];
+    }
+
+    Count samples() const { return n_; }
+    double mean() const { return n_ ? sum_ / static_cast<double>(n_) : 0.0; }
+    double minValue() const { return n_ ? min_ : 0.0; }
+    double maxValue() const { return n_ ? max_ : 0.0; }
+    std::size_t size() const { return counts_.size(); }
+    Count bucket(std::size_t i) const { return counts_[i]; }
+    const std::string &name() const { return name_; }
+
+    /** Lower edge of bucket i. */
+    double
+    bucketLo(std::size_t i) const
+    {
+        return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+               static_cast<double>(size());
+    }
+
+    void
+    reset()
+    {
+        n_ = 0;
+        sum_ = 0.0;
+        std::fill(counts_.begin(), counts_.end(), 0);
+    }
+
+  private:
+    std::string name_;
+    double lo_, hi_;
+    Count n_ = 0;
+    double sum_ = 0.0, min_ = 0.0, max_ = 0.0;
+    std::vector<Count> counts_;
+};
+
+/**
+ * A named collection of counters owned by one simulated component.
+ * Counters are created on first use and live for the set's lifetime.
+ */
+class StatSet
+{
+  public:
+    explicit StatSet(std::string prefix = "") : prefix_(std::move(prefix)) {}
+
+    /** Get-or-create a counter by (unprefixed) name. */
+    Counter &
+    counter(const std::string &name)
+    {
+        auto it = counters_.find(name);
+        if (it == counters_.end()) {
+            it = counters_.emplace(name, Counter(prefix_ + name)).first;
+        }
+        return it->second;
+    }
+
+    /** Look up an existing counter; returns nullptr if absent. */
+    const Counter *
+    find(const std::string &name) const
+    {
+        auto it = counters_.find(name);
+        return it == counters_.end() ? nullptr : &it->second;
+    }
+
+    /** Dump all counters as "name value" lines. */
+    std::string dump() const;
+
+    void
+    reset()
+    {
+        for (auto &kv : counters_) kv.second.reset();
+    }
+
+    const std::map<std::string, Counter> &all() const { return counters_; }
+
+  private:
+    std::string prefix_;
+    std::map<std::string, Counter> counters_;
+};
+
+} // namespace awb

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * ASCII table rendering used by the bench harnesses to print paper-style
+ * tables (Table 1/2/3, Figure 14/15 series) to stdout.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace awb {
+
+/** Format a count the way the paper does: 999.7K, 62.3M, 257G, ... */
+std::string humanCount(double v);
+
+/** Format a ratio as a percentage with one decimal, e.g. "63.4%". */
+std::string percent(double frac);
+
+/** Format a double with the given number of decimals. */
+std::string fixed(double v, int decimals);
+
+/**
+ * Column-aligned ASCII table. Rows are added as string vectors; render()
+ * pads every column to its widest cell and draws a header separator.
+ */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> header);
+
+    /** Append one data row; must match the header arity. */
+    void addRow(std::vector<std::string> row);
+
+    /** Render with column alignment and +-- style separators. */
+    std::string render() const;
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace awb

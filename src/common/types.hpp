@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Fundamental scalar type aliases used across the AWB-GCN code base.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+namespace awb {
+
+/** Row/column index into a matrix. 32-bit: the largest evaluated graph
+ *  (Reddit, 233K nodes) and its edge counts fit comfortably. */
+using Index = std::int32_t;
+
+/** Counts that may exceed 2^31 (cycle counts, multiply-op counts — Table 2
+ *  reaches 258G ops for Nell). */
+using Count = std::int64_t;
+
+/** Simulated clock cycle. */
+using Cycle = std::int64_t;
+
+/** Matrix element value type. The hardware uses floating-point MACs. */
+using Value = float;
+
+} // namespace awb

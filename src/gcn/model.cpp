@@ -1,0 +1,41 @@
+#include "gcn/model.hpp"
+
+#include <cmath>
+
+#include "common/log.hpp"
+#include "common/rng.hpp"
+
+namespace awb {
+
+namespace {
+
+DenseMatrix
+glorotUniform(Rng &rng, Index fan_in, Index fan_out)
+{
+    DenseMatrix w(fan_in, fan_out);
+    auto limit = static_cast<float>(
+        std::sqrt(6.0 / static_cast<double>(fan_in + fan_out)));
+    w.fillUniform(rng, -limit, limit);
+    return w;
+}
+
+} // namespace
+
+GcnModel
+makeGcnModel(Index f1, Index f2, Index f3, std::uint64_t seed)
+{
+    return makeDeepGcnModel({f1, f2, f3}, seed);
+}
+
+GcnModel
+makeDeepGcnModel(const std::vector<Index> &dims, std::uint64_t seed)
+{
+    if (dims.size() < 2) fatal("GCN needs at least one weight matrix");
+    Rng rng(seed ^ 0xfeedULL);
+    GcnModel m;
+    for (std::size_t l = 0; l + 1 < dims.size(); ++l)
+        m.weights.push_back(glorotUniform(rng, dims[l], dims[l + 1]));
+    return m;
+}
+
+} // namespace awb

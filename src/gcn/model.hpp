@@ -1,0 +1,55 @@
+/**
+ * @file
+ * The 2-layer spectral GCN model of the paper (Kipf & Welling style):
+ *
+ *   X2 = ReLU(A_hat · X1 · W1)
+ *   Y  = A_hat · X2 · W2
+ *
+ * Weights are dense (Table 1: W density 100%). The model owns only the
+ * weights; the graph (A_hat) and features (X1) live in Dataset.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sparse/dense.hpp"
+
+namespace awb {
+
+/** Dense weights of a multi-layer GCN. */
+struct GcnModel
+{
+    /** weights[l] maps layer-l input features to layer-(l+1) features. */
+    std::vector<DenseMatrix> weights;
+
+    /** Adjacency multiplications per layer: 1 = standard GCN; k collects
+     *  k-hop neighbourhood information per layer, A^k (X W) — the paper's
+     *  §2.1/§3.3 extension, pipelined as three (or more) chained SPMMs. */
+    Index adjHops = 1;
+
+    Index layers() const { return static_cast<Index>(weights.size()); }
+
+    /** Input feature dimension of layer l. */
+    Index inDim(Index l) const { return weights[static_cast<std::size_t>(l)].rows(); }
+
+    /** Output feature dimension of layer l. */
+    Index outDim(Index l) const { return weights[static_cast<std::size_t>(l)].cols(); }
+};
+
+/**
+ * Build a 2-layer GCN with Glorot-uniform initialized weights.
+ *
+ * @param f1  input feature dimension
+ * @param f2  hidden dimension
+ * @param f3  output dimension (classes)
+ */
+GcnModel makeGcnModel(Index f1, Index f2, Index f3, std::uint64_t seed = 1);
+
+/** Build an n-layer GCN given the full dimension chain {f1, f2, ..., fn+1}.
+ *  Supports the paper's "GCNs are becoming deeper" extension (§1). */
+GcnModel makeDeepGcnModel(const std::vector<Index> &dims,
+                          std::uint64_t seed = 1);
+
+} // namespace awb

@@ -1,0 +1,105 @@
+#include "gcn/ops_count.hpp"
+
+#include <numeric>
+
+#include "common/log.hpp"
+#include "sparse/convert.hpp"
+
+namespace awb {
+
+namespace {
+
+/** Exact SpGEMM multiply count for A (CSC) times X given X's per-row nnz:
+ *  every non-zero a(i,j) multiplies all nnz of X row j. */
+Count
+spgemmOps(const CscMatrix &a, const std::vector<Count> &x_row_nnz)
+{
+    Count ops = 0;
+    for (Index j = 0; j < a.cols(); ++j) {
+        Count col = a.colNnz(j);
+        ops += col * x_row_nnz[static_cast<std::size_t>(j)];
+    }
+    return ops;
+}
+
+LayerOps
+layerOps(Count nnz_a, Count nnz_x, Count spgemm, Index n, Index f_in,
+         Index f_out)
+{
+    LayerOps ops;
+    ops.xwFirst = nnz_x * f_out + nnz_a * f_out;
+    ops.axFirst = spgemm + static_cast<Count>(n) * f_in * f_out;
+    return ops;
+}
+
+} // namespace
+
+NetworkOps
+countOps(const Dataset &ds, const GcnModel &model)
+{
+    NetworkOps net;
+    const Index n = ds.spec.nodes;
+    const Count nnz_a = ds.adjacency.nnz();
+
+    // Layer-by-layer X evolution via a real inference.
+    InferenceResult inf = inferGcn(ds, model);
+
+    // Per-row nnz of X1 from the CSR features.
+    std::vector<Count> x_row(static_cast<std::size_t>(n));
+    for (Index r = 0; r < n; ++r)
+        x_row[static_cast<std::size_t>(r)] = ds.features.rowNnz(r);
+    Count nnz_x = ds.features.nnz();
+
+    for (Index l = 0; l < model.layers(); ++l) {
+        LayerOps ops = layerOps(nnz_a, nnz_x, spgemmOps(ds.adjacency, x_row),
+                                n, model.inDim(l), model.outDim(l));
+        net.layer.push_back(ops);
+        net.total.xwFirst += ops.xwFirst;
+        net.total.axFirst += ops.axFirst;
+
+        if (l + 1 < model.layers()) {
+            const DenseMatrix &next =
+                inf.layerInputs[static_cast<std::size_t>(l)];
+            nnz_x = 0;
+            for (Index r = 0; r < n; ++r) {
+                Count c = 0;
+                for (Index k = 0; k < next.cols(); ++k)
+                    if (next.at(r, k) != Value(0)) ++c;
+                x_row[static_cast<std::size_t>(r)] = c;
+                nnz_x += c;
+            }
+        }
+    }
+    return net;
+}
+
+NetworkOps
+countOpsProfile(const WorkloadProfile &profile)
+{
+    NetworkOps net;
+    const auto &s = profile.spec;
+    const Index n = s.nodes;
+
+    Count nnz_a = std::accumulate(profile.aRowNnz.begin(),
+                                  profile.aRowNnz.end(), Count(0));
+    Count nnz_x1 = std::accumulate(profile.x1RowNnz.begin(),
+                                   profile.x1RowNnz.end(), Count(0));
+    Count nnz_x2 = std::accumulate(profile.x2RowNnz.begin(),
+                                   profile.x2RowNnz.end(), Count(0));
+
+    // Mean-field SpGEMM term: nnz(A) x (nnz(X)/n).
+    auto spgemm = [&](Count nnz_x) {
+        return static_cast<Count>(static_cast<double>(nnz_a) *
+                                  static_cast<double>(nnz_x) /
+                                  static_cast<double>(n));
+    };
+
+    LayerOps l1 = layerOps(nnz_a, nnz_x1, spgemm(nnz_x1), n, s.f1, s.f2);
+    LayerOps l2 = layerOps(nnz_a, nnz_x2, spgemm(nnz_x2), n, s.f2, s.f3);
+    net.layer = {l1, l2};
+    net.total.xwFirst = l1.xwFirst + l2.xwFirst;
+    net.total.axFirst = l1.axFirst + l2.axFirst;
+    return net;
+}
+
+} // namespace awb

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Multiplication-operation counting for the two matrix-computation orders
+ * of paper §3.1 (reproduces Table 2).
+ *
+ * Counting rules (matching the paper's numbers):
+ *  - X×W first (the accelerator's order): both products are SPMM with
+ *    zero-skipping, so ops = nnz(X)·f_out + nnz(A)·f_out.
+ *  - (A×X) first: A×X is sparse×sparse, ops = sum over non-zeros a(i,j) of
+ *    nnz(X row j); its result is effectively dense (n × f_in), so the
+ *    second product costs n·f_in·f_out dense multiplies. (E.g. Cora
+ *    layer 1: 2708·1433·16 = 62.1M, the paper's 62.3M.)
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "gcn/reference.hpp"
+#include "graph/datasets.hpp"
+
+namespace awb {
+
+/** Multiply-op counts of one layer under both orders. */
+struct LayerOps
+{
+    Count xwFirst = 0;  ///< A × (X × W)
+    Count axFirst = 0;  ///< (A × X) × W
+};
+
+/** Counts for a whole network plus the total. */
+struct NetworkOps
+{
+    std::vector<LayerOps> layer;
+    LayerOps total;
+};
+
+/**
+ * Exact counts from materialized matrices (runs the per-layer density
+ * evolution with a real inference to obtain nnz(X2)).
+ */
+NetworkOps countOps(const Dataset &ds, const GcnModel &model);
+
+/**
+ * Approximate counts from a workload profile only (no matrices). Uses the
+ * profile's per-row nnz for X1/X2 and the mean-field approximation
+ * nnz(X row j) ≈ nnz(X)/n inside the A×X SpGEMM term. Cheap at full
+ * Nell/Reddit scale.
+ */
+NetworkOps countOpsProfile(const WorkloadProfile &profile);
+
+} // namespace awb

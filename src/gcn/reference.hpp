@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Golden software GCN inference. This is (a) the functional reference the
+ * cycle-accurate accelerator must match bit-for-shape, and (b) the CPU
+ * baseline measured for Table 3.
+ *
+ * Both matrix-computation orders of paper §3.1 are provided:
+ *   XwFirst: A × (X × W)  — the order the accelerator uses
+ *   AxFirst: (A × X) × W  — the naive order (Table 2 shows it is far more
+ *                           expensive; kept for validation and the Table 2
+ *                           bench)
+ */
+
+#pragma once
+
+#include "gcn/model.hpp"
+#include "graph/datasets.hpp"
+#include "sparse/csc.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/dense.hpp"
+
+namespace awb {
+
+/** Which side of AXW is multiplied first (paper §3.1). */
+enum class ComputeOrder { XwFirst, AxFirst };
+
+/** Per-layer activation. The hidden layers use ReLU; the output layer is
+ *  linear (class scores; softmax is monotone and omitted, as in the
+ *  paper's compute flow which ends at the output features). */
+struct InferenceResult
+{
+    DenseMatrix output;  ///< nodes x f_last class scores
+    /** Hidden-layer inputs: layerInputs[i] is the (post-ReLU) input of
+     *  layer i+1. The layer-0 input is the dataset's CSR feature matrix
+     *  and is not duplicated here (for Nell it cannot be dense). */
+    std::vector<DenseMatrix> layerInputs;
+};
+
+/**
+ * Run full multi-layer GCN inference.
+ *
+ * @param adjacency normalized A_hat (CSC)
+ * @param features  X1 (CSR, content-sparse)
+ * @param model     weight stack
+ * @param order     computation order (results are identical; cost differs)
+ */
+InferenceResult inferGcn(const CscMatrix &adjacency,
+                         const CsrMatrix &features, const GcnModel &model,
+                         ComputeOrder order = ComputeOrder::XwFirst);
+
+/** Convenience overload for a loaded dataset. */
+InferenceResult inferGcn(const Dataset &ds, const GcnModel &model,
+                         ComputeOrder order = ComputeOrder::XwFirst);
+
+} // namespace awb

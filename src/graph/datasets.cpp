@@ -1,0 +1,180 @@
+#include "graph/datasets.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/log.hpp"
+#include "graph/degree_dist.hpp"
+#include "graph/normalize.hpp"
+
+namespace awb {
+
+namespace {
+
+std::string
+lower(std::string s)
+{
+    std::transform(s.begin(), s.end(), s.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    return s;
+}
+
+/** GraphGenParams implied by a (possibly scaled) dataset spec. */
+GraphGenParams
+genParams(const DatasetSpec &spec)
+{
+    GraphGenParams p;
+    p.nodes = spec.nodes;
+    p.edges = static_cast<Count>(spec.densityA *
+                                 static_cast<double>(spec.nodes) *
+                                 static_cast<double>(spec.nodes));
+    p.style = spec.style;
+    p.alpha = spec.alpha;
+    p.dMax = spec.dMax;
+    return p;
+}
+
+/**
+ * Sample a row's feature non-zero count: Binomial(f, d) approximated by a
+ * clamped Gaussian (exact Bernoulli looping is too slow at Nell/Reddit
+ * scale and the tail shape is irrelevant for feature matrices).
+ */
+Count
+sampleRowFeatureNnz(Rng &rng, Index f, double d)
+{
+    double mean = d * static_cast<double>(f);
+    double sdev = std::sqrt(std::max(mean * (1.0 - d), 0.0));
+    double v = mean + sdev * rng.nextGaussian();
+    return std::clamp<Count>(static_cast<Count>(std::llround(v)), 0,
+                             static_cast<Count>(f));
+}
+
+/** Build a content-sparse CSR feature matrix with the given density. */
+CsrMatrix
+makeFeatures(Rng &rng, Index nodes, Index f, double density)
+{
+    CooMatrix coo(nodes, f);
+    std::unordered_set<Index> used;
+    for (Index r = 0; r < nodes; ++r) {
+        Count k = sampleRowFeatureNnz(rng, f, density);
+        k = std::min<Count>(k, f);
+        used.clear();
+        while (static_cast<Count>(used.size()) < k) {
+            Index c = rng.nextIndex(f);
+            if (used.insert(c).second)
+                coo.add(r, c, rng.nextFloat(0.05f, 1.0f));
+        }
+    }
+    coo.canonicalize();
+    return CsrMatrix::fromCoo(coo);
+}
+
+} // namespace
+
+const std::vector<DatasetSpec> &
+paperDatasets()
+{
+    // Table 1 of the paper. Style/alpha follow the Fig. 1/13 shapes: all
+    // five graphs are power-law; Nell additionally has its non-zeros
+    // heavily clustered (paper §5.2: baseline utilization only 13%);
+    // Reddit's per-row distribution is comparatively even at the
+    // granularity of PE row-blocks (baseline already 92% utilized), which
+    // a milder exponent with a high mean degree reproduces.
+    // dMax values follow the published hub sizes of the real datasets
+    // (Cora's largest hub has degree 168, Citeseer's 99, Pubmed's 171;
+    // Reddit's reaches the tens of thousands), so the per-row tail the
+    // rebalancer fights matches Fig. 1/13.
+    static const std::vector<DatasetSpec> specs = {
+        {"cora", 2708, 1433, 16, 7,
+         0.0018, 0.0127, 0.780, GraphStyle::PowerLaw, 2.1, 170, 0},
+        {"citeseer", 3327, 3703, 16, 6,
+         0.0011, 0.0085, 0.891, GraphStyle::PowerLaw, 2.3, 100, 0},
+        {"pubmed", 19717, 500, 16, 3,
+         0.00028, 0.100, 0.776, GraphStyle::PowerLaw, 2.2, 172, 0},
+        {"nell", 65755, 61278, 64, 186,
+         0.000073, 0.00011, 0.864, GraphStyle::Clustered, 2.4, 1500, 2},
+        {"reddit", 232965, 602, 64, 41,
+         0.00043, 0.516, 0.600, GraphStyle::PowerLaw, 3.2, 22000, 0},
+    };
+    return specs;
+}
+
+const DatasetSpec &
+findDataset(const std::string &name)
+{
+    std::string key = lower(name);
+    for (const auto &spec : paperDatasets())
+        if (spec.name == key) return spec;
+    fatal("unknown dataset: " + name +
+          " (expected cora/citeseer/pubmed/nell/reddit)");
+}
+
+DatasetSpec
+scaledSpec(const DatasetSpec &spec, double scale)
+{
+    if (scale <= 0.0 || scale > 1.0)
+        fatal("dataset scale must be in (0, 1]");
+    DatasetSpec s = spec;
+    s.nodes = std::max<Index>(
+        16, static_cast<Index>(std::llround(scale *
+                                            static_cast<double>(spec.nodes))));
+    // Scale the hub cap too, so scaled instances keep the same relative
+    // tail (a 5% Cora still has its hub at ~6% of the nodes).
+    s.dMax = std::max<Count>(8, static_cast<Count>(std::llround(
+                                    scale * static_cast<double>(spec.dMax))));
+    return s;
+}
+
+Dataset
+loadSynthetic(const DatasetSpec &spec, std::uint64_t seed, double scale)
+{
+    DatasetSpec s = scaledSpec(spec, scale);
+    Rng rng(seed ^ 0x9e3779b97f4a7c15ULL, std::hash<std::string>{}(s.name));
+
+    auto raw = synthesizeAdjacency(rng, genParams(s));
+    Dataset ds;
+    ds.spec = s;
+    ds.scale = scale;
+    ds.adjacency = normalizeAdjacencyCsc(raw, /*add_self_loops=*/true);
+    ds.features = makeFeatures(rng, s.nodes, s.f1, s.densityX1);
+    return ds;
+}
+
+Dataset
+loadSyntheticByName(const std::string &name, std::uint64_t seed, double scale)
+{
+    return loadSynthetic(findDataset(name), seed, scale);
+}
+
+WorkloadProfile
+loadProfile(const DatasetSpec &spec, std::uint64_t seed, double scale)
+{
+    DatasetSpec s = scaledSpec(spec, scale);
+    Rng rng(seed ^ 0x9e3779b97f4a7c15ULL, std::hash<std::string>{}(s.name));
+
+    WorkloadProfile p;
+    p.spec = s;
+    p.scale = scale;
+    p.aRowNnz = synthesizeRowDegrees(rng, genParams(s));
+    // Normalization adds the +I self loop to every row.
+    for (auto &d : p.aRowNnz) d += 1;
+    p.x1RowNnz.resize(static_cast<std::size_t>(s.nodes));
+    p.x2RowNnz.resize(static_cast<std::size_t>(s.nodes));
+    for (Index r = 0; r < s.nodes; ++r) {
+        p.x1RowNnz[static_cast<std::size_t>(r)] =
+            sampleRowFeatureNnz(rng, s.f1, s.densityX1);
+        p.x2RowNnz[static_cast<std::size_t>(r)] =
+            sampleRowFeatureNnz(rng, s.f2, s.densityX2);
+    }
+    return p;
+}
+
+std::vector<Count>
+rowNnzOf(const CscMatrix &m)
+{
+    return m.rowNnz();
+}
+
+} // namespace awb

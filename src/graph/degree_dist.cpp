@@ -1,0 +1,93 @@
+#include "graph/degree_dist.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/log.hpp"
+
+namespace awb {
+
+std::vector<Count>
+samplePowerLawDegrees(Rng &rng, Index n, double alpha, Count d_min,
+                      Count d_max, Count target_total)
+{
+    if (n <= 0) return {};
+    if (alpha <= 1.0) fatal("power-law exponent must be > 1");
+    if (d_min < 1) d_min = 1;
+    if (d_max < d_min) d_max = d_min;
+
+    std::vector<double> raw(static_cast<std::size_t>(n));
+    const double a = 1.0 - alpha;
+    const double lo = std::pow(static_cast<double>(d_min), a);
+    const double hi = std::pow(static_cast<double>(d_max) + 1.0, a);
+    for (auto &d : raw) {
+        // Inverse-CDF sample of a bounded Pareto.
+        double u = rng.nextDouble();
+        d = std::pow(lo + u * (hi - lo), 1.0 / a);
+    }
+
+    if (target_total > 0) {
+        double sum = std::accumulate(raw.begin(), raw.end(), 0.0);
+        double k = static_cast<double>(target_total) / sum;
+        for (auto &d : raw) d *= k;
+    }
+
+    // Post-scaling degrees may exceed d_max; the cap is a property of the
+    // matrix (a row has at most d_max wanted non-zeros), not of the sampled
+    // population size.
+    std::vector<Count> deg(static_cast<std::size_t>(n));
+    for (std::size_t i = 0; i < deg.size(); ++i) {
+        deg[i] = std::clamp<Count>(static_cast<Count>(std::llround(raw[i])),
+                                   0, d_max);
+    }
+    // Fix up rounding/clamping drift toward the target by bumping random
+    // nodes.
+    if (target_total > 0) {
+        Count total = std::accumulate(deg.begin(), deg.end(), Count(0));
+        Count guard = 8 * static_cast<Count>(n);
+        while (total != target_total && guard-- > 0) {
+            auto i = static_cast<std::size_t>(rng.nextIndex(n));
+            if (total < target_total && deg[i] < d_max) {
+                ++deg[i];
+                ++total;
+            } else if (total > target_total && deg[i] > 0) {
+                --deg[i];
+                --total;
+            }
+        }
+    }
+    return deg;
+}
+
+std::vector<Count>
+sampleUniformDegrees(Rng &rng, Index n, Count target_total)
+{
+    std::vector<Count> deg(static_cast<std::size_t>(n), 0);
+    if (n <= 0 || target_total <= 0) return deg;
+    Count base = target_total / n;
+    Count extra = target_total % n;
+    std::fill(deg.begin(), deg.end(), base);
+    for (Count e = 0; e < extra; ++e)
+        ++deg[static_cast<std::size_t>(rng.nextIndex(n))];
+    return deg;
+}
+
+double
+giniCoefficient(const std::vector<Count> &degrees)
+{
+    if (degrees.empty()) return 0.0;
+    std::vector<Count> sorted(degrees);
+    std::sort(sorted.begin(), sorted.end());
+    double cum = 0.0, weighted = 0.0;
+    const auto n = static_cast<double>(sorted.size());
+    for (std::size_t i = 0; i < sorted.size(); ++i) {
+        double rank = 2.0 * static_cast<double>(i + 1) - n - 1.0;
+        weighted += static_cast<double>(sorted[i]) * rank;
+        cum += static_cast<double>(sorted[i]);
+    }
+    if (cum == 0.0) return 0.0;
+    return weighted / (cum * static_cast<double>(sorted.size()));
+}
+
+} // namespace awb

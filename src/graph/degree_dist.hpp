@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Degree-sequence samplers for synthetic graph generation.
+ *
+ * Real-world graphs follow power-law degree distributions (paper Section 1,
+ * Figures 1 and 13); the rebalancing problem AWB-GCN solves exists exactly
+ * because of the heavy tail these samplers produce.
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace awb {
+
+/**
+ * Sample n degrees from a discrete power law P(d) ~ d^-alpha over
+ * [d_min, d_max] via inverse-CDF of the continuous Pareto, then scale the
+ * sequence so it sums to (approximately) target_total while keeping every
+ * degree >= d_min' = max(0, ...) and <= d_max.
+ *
+ * @param rng           generator
+ * @param n             number of nodes
+ * @param alpha         power-law exponent (> 1; 2.1-3 typical for graphs)
+ * @param d_min         minimum degree before scaling (>= 1)
+ * @param d_max         maximum degree cap
+ * @param target_total  desired sum of degrees (total non-zeros); 0 = no
+ *                      rescaling
+ * @return degree per node
+ */
+std::vector<Count> samplePowerLawDegrees(Rng &rng, Index n, double alpha,
+                                         Count d_min, Count d_max,
+                                         Count target_total);
+
+/**
+ * Sample n degrees that are uniform-ish (Poisson-like around mean):
+ * the balanced counterpart used for the "evenly distributed" assumption of
+ * the baseline design.
+ */
+std::vector<Count> sampleUniformDegrees(Rng &rng, Index n,
+                                        Count target_total);
+
+/** Gini coefficient of a degree sequence: 0 = perfectly even, ->1 skewed. */
+double giniCoefficient(const std::vector<Count> &degrees);
+
+} // namespace awb

@@ -1,0 +1,102 @@
+#include "graph/generator.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/log.hpp"
+#include "graph/degree_dist.hpp"
+
+namespace awb {
+
+namespace {
+
+/**
+ * Append `degree` distinct non-zeros to row `r` at uniform random columns.
+ * Sampling is without replacement (rejection against a per-row set), which
+ * keeps the realized row-degree exactly equal to the requested one — the
+ * quantity the workload-balance experiments key on.
+ */
+void
+fillRow(Rng &rng, CooMatrix &m, Index r, Count degree)
+{
+    Index n = m.cols();
+    degree = std::min<Count>(degree, n);
+    if (degree <= 0) return;
+    std::unordered_set<Index> used;
+    used.reserve(static_cast<std::size_t>(degree) * 2);
+    while (static_cast<Count>(used.size()) < degree) {
+        Index c = rng.nextIndex(n);
+        if (used.insert(c).second) m.add(r, c, Value(1));
+    }
+}
+
+} // namespace
+
+std::vector<Count>
+synthesizeRowDegrees(Rng &rng, const GraphGenParams &params)
+{
+    const Index n = params.nodes;
+    if (n <= 0) fatal("synthesizeRowDegrees: nodes must be positive");
+    Count d_max = params.dMax > 0 ? params.dMax
+                                  : std::max<Count>(Count(8), n / 8);
+
+    switch (params.style) {
+      case GraphStyle::Uniform:
+        return sampleUniformDegrees(rng, n, params.edges);
+      case GraphStyle::PowerLaw:
+        return samplePowerLawDegrees(rng, n, params.alpha, 1, d_max,
+                                     params.edges);
+      case GraphStyle::Clustered: {
+        // A narrow contiguous band of rows receives clusterNnzFrac of all
+        // non-zeros (the Nell signature, paper Fig. 13: a few rows with
+        // tens of thousands of entries while the bulk have a handful).
+        auto band_rows = static_cast<Index>(
+            std::max<double>(1.0, params.clusterRowFrac *
+                                  static_cast<double>(n)));
+        auto band_edges = static_cast<Count>(
+            params.clusterNnzFrac * static_cast<double>(params.edges));
+        Count rest_edges = params.edges - band_edges;
+        Index band_start = n / 2 - band_rows / 2;
+
+        auto deg = samplePowerLawDegrees(rng, n, params.alpha, 1, d_max,
+                                         rest_edges);
+        auto band_deg = samplePowerLawDegrees(
+            rng, band_rows, 1.5, band_edges / (2 * band_rows) + 1, n,
+            band_edges);
+        for (Index i = 0; i < band_rows; ++i) {
+            deg[static_cast<std::size_t>(band_start + i)] =
+                std::min<Count>(band_deg[static_cast<std::size_t>(i)], n);
+        }
+        return deg;
+      }
+    }
+    panic("unreachable graph style");
+}
+
+CooMatrix
+adjacencyFromDegrees(Rng &rng, Index nodes, const std::vector<Count> &degrees)
+{
+    CooMatrix m(nodes, nodes);
+    for (Index r = 0; r < nodes; ++r)
+        fillRow(rng, m, r, degrees[static_cast<std::size_t>(r)]);
+    m.canonicalize();
+    return m;
+}
+
+CooMatrix
+synthesizeAdjacency(Rng &rng, const GraphGenParams &params)
+{
+    auto deg = synthesizeRowDegrees(rng, params);
+    auto m = adjacencyFromDegrees(rng, params.nodes, deg);
+
+    if (params.symmetric) {
+        auto ents = m.entries();  // copy: add() invalidates iteration
+        for (const Triplet &t : ents)
+            if (t.row != t.col) m.add(t.col, t.row, t.val);
+        m.canonicalize();
+        for (Triplet &t : m.entries()) t.val = Value(1);
+    }
+    return m;
+}
+
+} // namespace awb

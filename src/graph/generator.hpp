@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Synthetic graph adjacency generators.
+ *
+ * Substitution (see DESIGN.md §3): the paper evaluates on the published
+ * Cora/Citeseer/Pubmed/Nell/Reddit datasets. These generators reproduce the
+ * structural properties those results depend on — size, density, power-law
+ * per-row non-zero skew, and (for Nell) heavy clustering of non-zeros in a
+ * small contiguous band of rows.
+ */
+
+#pragma once
+
+#include "common/rng.hpp"
+#include "sparse/coo.hpp"
+
+namespace awb {
+
+/** Shape of the per-row non-zero distribution to synthesize. */
+enum class GraphStyle
+{
+    Uniform,    ///< evenly distributed non-zeros (the baseline's happy case)
+    PowerLaw,   ///< heavy-tailed row degrees (Cora/Citeseer/Pubmed-like)
+    Clustered,  ///< power law + dense clustered band of rows (Nell-like)
+};
+
+/** Parameters for synthesizeAdjacency(). */
+struct GraphGenParams
+{
+    Index nodes = 1000;          ///< vertex count (matrix is nodes x nodes)
+    Count edges = 5000;          ///< target non-zero count (pre-self-loop)
+    GraphStyle style = GraphStyle::PowerLaw;
+    double alpha = 2.2;          ///< power-law exponent
+    Count dMax = 0;              ///< max row degree; 0 = nodes/8
+    double clusterRowFrac = 0.004;  ///< Clustered: fraction of rows in band
+    double clusterNnzFrac = 0.5;    ///< Clustered: fraction of nnz in band
+    bool symmetric = false;      ///< mirror edges (undirected graph)
+};
+
+/**
+ * Sample only the per-row non-zero counts the generator would realize.
+ * synthesizeAdjacency() consumes exactly this sequence, so profile-only
+ * workload modelling (DESIGN.md §4) sees the same distribution the full
+ * matrices have.
+ */
+std::vector<Count> synthesizeRowDegrees(Rng &rng,
+                                        const GraphGenParams &params);
+
+/**
+ * Generate a random adjacency matrix with the requested non-zero
+ * distribution. Values are 1.0 (pre-normalization); no self loops
+ * (normalizeAdjacency() adds the +I term).
+ */
+CooMatrix synthesizeAdjacency(Rng &rng, const GraphGenParams &params);
+
+/** Materialize an adjacency from an explicit per-row degree sequence. */
+CooMatrix adjacencyFromDegrees(Rng &rng, Index nodes,
+                               const std::vector<Count> &degrees);
+
+} // namespace awb

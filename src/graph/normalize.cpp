@@ -1,0 +1,52 @@
+#include "graph/normalize.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "common/log.hpp"
+
+namespace awb {
+
+CooMatrix
+normalizeAdjacency(const CooMatrix &a, bool add_self_loops)
+{
+    if (a.rows() != a.cols())
+        fatal("normalizeAdjacency: adjacency must be square");
+    const Index n = a.rows();
+
+    CooMatrix aug = a;
+    if (add_self_loops) {
+        for (Index i = 0; i < n; ++i) aug.add(i, i, Value(1));
+        aug.canonicalize();
+        // A node that already had a self loop now has value 2; clamp, as
+        // the renormalization trick uses A + I with binary A.
+        for (Triplet &t : aug.entries())
+            if (t.row == t.col && t.val > Value(1)) t.val = Value(1);
+    }
+
+    std::vector<double> degree(static_cast<std::size_t>(n), 0.0);
+    for (const Triplet &t : aug.entries())
+        degree[static_cast<std::size_t>(t.row)] += t.val;
+
+    std::vector<double> inv_sqrt(static_cast<std::size_t>(n), 0.0);
+    for (std::size_t i = 0; i < inv_sqrt.size(); ++i)
+        inv_sqrt[i] = degree[i] > 0.0 ? 1.0 / std::sqrt(degree[i]) : 0.0;
+
+    CooMatrix out(n, n);
+    for (const Triplet &t : aug.entries()) {
+        double v = inv_sqrt[static_cast<std::size_t>(t.row)] *
+                   static_cast<double>(t.val) *
+                   inv_sqrt[static_cast<std::size_t>(t.col)];
+        out.add(t.row, t.col, static_cast<Value>(v));
+    }
+    out.canonicalize();
+    return out;
+}
+
+CscMatrix
+normalizeAdjacencyCsc(const CooMatrix &a, bool add_self_loops)
+{
+    return CscMatrix::fromCoo(normalizeAdjacency(a, add_self_loops));
+}
+
+} // namespace awb

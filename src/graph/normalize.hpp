@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Symmetric Laplacian normalization of a graph adjacency matrix:
+ * A_hat = D^-1/2 (A + I) D^-1/2 with D_ii = sum_j (A + I)_ij
+ * (paper Section 2.1). A_hat is computed offline and stays constant for
+ * every layer and every inference, so the accelerator receives it as a
+ * ready CSC matrix.
+ */
+
+#pragma once
+
+#include "sparse/coo.hpp"
+#include "sparse/csc.hpp"
+
+namespace awb {
+
+/**
+ * Compute the renormalized adjacency A_hat from a raw (0/1) adjacency.
+ * @param a     raw adjacency, square
+ * @param add_self_loops  add the +I term (standard GCN renormalization
+ *                        trick); pass false if `a` already has self loops
+ */
+CooMatrix normalizeAdjacency(const CooMatrix &a, bool add_self_loops = true);
+
+/** Convenience: normalize and convert to the accelerator's CSC format. */
+CscMatrix normalizeAdjacencyCsc(const CooMatrix &a,
+                                bool add_self_loops = true);
+
+} // namespace awb

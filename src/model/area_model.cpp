@@ -1,0 +1,46 @@
+#include "model/area_model.hpp"
+
+#include <cmath>
+
+namespace awb {
+
+namespace {
+
+int
+log2i(int v)
+{
+    int s = 0;
+    while ((1 << s) < v) ++s;
+    return s;
+}
+
+} // namespace
+
+AreaEstimate
+estimateArea(const AccelConfig &cfg, std::size_t peak_tq_depth,
+             const AreaConstants &consts)
+{
+    AreaEstimate est;
+    const double P = cfg.numPes;
+
+    double logic = consts.clbFixed + P * consts.clbPerPe;
+    // Omega network: P/2 routers per stage, log2(P) stages.
+    logic += (P / 2.0) * log2i(cfg.numPes) * consts.clbPerRouter;
+
+    // Rebalancing logic overheads (measured by the paper after synthesis).
+    double overhead = 0.0;
+    if (cfg.sharingHops == 1) {
+        overhead += consts.localSharing1HopFrac;
+    } else if (cfg.sharingHops >= 2) {
+        overhead += consts.localSharing2HopFrac;
+    }
+    if (cfg.remoteSwitching) overhead += consts.remoteSwitchFrac;
+    logic *= 1.0 + overhead;
+
+    est.otherClb = logic;
+    est.tqClb = P * static_cast<double>(peak_tq_depth) * consts.clbPerTqSlot;
+    est.totalClb = est.otherClb + est.tqClb;
+    return est;
+}
+
+} // namespace awb

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Hardware-resource (area) model in CLB-equivalents, reproducing the
+ * structure of paper Fig. 14 K-O and the bars of Fig. 15.
+ *
+ * The paper's area accounting splits into (1) the task queues (TQs), whose
+ * physical size is set by the worst-case occupancy the workload produces —
+ * this is the component rebalancing shrinks dramatically (Nell: depth
+ * 65128 → 2675) — and (2) everything else (PEs, Omega network, memories,
+ * control), which is constant per design except for the small rebalancing
+ * logic overheads the paper reports: +2.7% for 1-hop sharing, +4.3% for
+ * 2-hop, +1.9% for remote switching, relative to baseline logic.
+ */
+
+#pragma once
+
+#include "accel/config.hpp"
+#include "common/types.hpp"
+
+namespace awb {
+
+/** Calibration constants (CLB-equivalents). */
+struct AreaConstants
+{
+    double clbPerPe = 120.0;       ///< MAC + AGU + scoreboard + ACC control
+    double clbPerRouter = 24.0;    ///< one 2x2 Omega router + buffers
+    double clbPerTqSlot = 0.6;     ///< one task-queue entry (val+row+tag)
+    double clbFixed = 4000.0;      ///< SPMMeM/DCM controllers, misc
+    double localSharing1HopFrac = 0.027;  ///< paper §5.2 overheads
+    double localSharing2HopFrac = 0.043;
+    double remoteSwitchFrac = 0.019;
+};
+
+/** Area broken down the way Fig. 14 K-O plots it. */
+struct AreaEstimate
+{
+    double tqClb = 0.0;     ///< task-queue buffering (the red bars)
+    double otherClb = 0.0;  ///< all other logic (the green bars)
+    double totalClb = 0.0;
+};
+
+/**
+ * Estimate design area.
+ *
+ * @param cfg          accelerator configuration (PEs, hops, remote)
+ * @param peak_tq_depth  worst per-PE TQ occupancy measured by simulation;
+ *                       the physical queues must be at least this deep
+ * @param consts       calibration constants
+ */
+AreaEstimate estimateArea(const AccelConfig &cfg, std::size_t peak_tq_depth,
+                          const AreaConstants &consts = AreaConstants{});
+
+} // namespace awb

@@ -1,0 +1,30 @@
+#include "model/energy_model.hpp"
+
+namespace awb {
+
+EnergyReport
+evaluateEnergy(Cycle cycles, Count tasks, double freq_mhz, Count moves,
+               const EnergyConstants &consts)
+{
+    if (moves < 0) moves = 2 * tasks;
+    EnergyReport rep;
+    double seconds = static_cast<double>(cycles) / (freq_mhz * 1e6);
+    rep.latencyMs = seconds * 1e3;
+    rep.energyJ = consts.staticWatts * seconds +
+                  consts.macPj * 1e-12 * static_cast<double>(tasks) +
+                  consts.movePj * 1e-12 * static_cast<double>(moves);
+    rep.inferencesPerKj = rep.energyJ > 0.0 ? 1000.0 / rep.energyJ : 0.0;
+    return rep;
+}
+
+EnergyReport
+evaluateFixedPower(double latency_ms, double watts)
+{
+    EnergyReport rep;
+    rep.latencyMs = latency_ms;
+    rep.energyJ = watts * latency_ms * 1e-3;
+    rep.inferencesPerKj = rep.energyJ > 0.0 ? 1000.0 / rep.energyJ : 0.0;
+    return rep;
+}
+
+} // namespace awb

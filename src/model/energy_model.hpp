@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Board-level latency/energy model for Table 3.
+ *
+ * The paper measures wall power with a meter; we substitute a standard
+ * static + per-event dynamic decomposition:
+ *
+ *   E = P_static · t  +  e_mac · #MACs  +  e_move · #queue/network events
+ *
+ * and report the paper's metrics: inference latency in milliseconds and
+ * energy efficiency in Graph-Inference/kJ. Constants are calibrated so the
+ * FPGA designs land in the magnitude range of Table 3; cross-platform
+ * *ratios* (who wins, by what factor) are the reproduction target.
+ */
+
+#pragma once
+
+#include "common/types.hpp"
+
+namespace awb {
+
+/** Power/energy calibration constants. */
+struct EnergyConstants
+{
+    double staticWatts = 12.0;   ///< board static + clock tree
+    double macPj = 18.0;         ///< one fp32 MAC (pJ)
+    double movePj = 6.0;         ///< one queue push / network hop (pJ)
+};
+
+/** Latency + energy of one inference on a clocked accelerator. */
+struct EnergyReport
+{
+    double latencyMs = 0.0;
+    double energyJ = 0.0;
+    double inferencesPerKj = 0.0;
+};
+
+/**
+ * Evaluate an accelerator run.
+ *
+ * @param cycles     end-to-end cycles of one inference
+ * @param tasks      MAC operations executed
+ * @param moves      data-movement events (defaults to 2 per task: one
+ *                   queue push + one network/scan hop on average)
+ * @param freq_mhz   operating frequency (paper: 275 MHz, EIE-like 285)
+ */
+EnergyReport evaluateEnergy(Cycle cycles, Count tasks, double freq_mhz,
+                            Count moves = -1,
+                            const EnergyConstants &consts = EnergyConstants{});
+
+/** Latency/energy for a fixed-power platform (CPU/GPU rows of Table 3). */
+EnergyReport evaluateFixedPower(double latency_ms, double watts);
+
+} // namespace awb

@@ -1,0 +1,53 @@
+#include "model/platforms.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <vector>
+
+#include "gcn/reference.hpp"
+
+namespace awb {
+
+double
+measureCpuLatencyMs(const Dataset &ds, const GcnModel &model, int reps)
+{
+    std::vector<double> samples;
+    samples.reserve(static_cast<std::size_t>(reps));
+    for (int i = 0; i < reps; ++i) {
+        auto start = std::chrono::steady_clock::now();
+        auto result = inferGcn(ds, model, ComputeOrder::XwFirst);
+        auto stop = std::chrono::steady_clock::now();
+        // Touch the output so the inference cannot be optimized away.
+        volatile Value sink = result.output.at(0, 0);
+        (void)sink;
+        samples.push_back(
+            std::chrono::duration<double, std::milli>(stop - start).count());
+    }
+    std::sort(samples.begin(), samples.end());
+    return samples[samples.size() / 2];
+}
+
+double
+modelCpuLatencyMs(const NetworkOps &ops, const CpuModelConstants &c)
+{
+    // 2 FLOPs per multiply-accumulate; XwFirst order (what PyTorch runs).
+    double flops = 2.0 * static_cast<double>(ops.total.xwFirst);
+    return flops / (c.effGflops * 1e9) * 1e3 + c.overheadMs;
+}
+
+double
+modelGpuLatencyMs(const NetworkOps &ops, int layers,
+                  const GpuModelConstants &c)
+{
+    double flops = 2.0 * static_cast<double>(ops.total.xwFirst);
+    // Data movement: every MAC touches one 8-byte sparse entry + one
+    // 4-byte dense operand on average (CSR stream + dense column reuse).
+    double bytes = 12.0 * static_cast<double>(ops.total.xwFirst);
+    double compute_ms = flops / (c.peakGflops * 1e9 * c.spmmEfficiency) * 1e3;
+    double memory_ms = bytes / (c.bandwidthGBs * 1e9) * 1e3;
+    double overhead_ms =
+        c.kernelOverheadMs * c.kernelsPerLayer * static_cast<double>(layers);
+    return std::max(compute_ms, memory_ms) + overhead_ms;
+}
+
+} // namespace awb

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Cross-platform baselines for Table 3: the CPU (measured on the host
+ * running the reference GCN, or analytically from op counts when a full
+ * run is impractical) and an analytic GPU model standing in for the
+ * PyTorch/cuSPARSE Tesla-P100 of the paper (no GPU exists in this
+ * environment; DESIGN.md §3 documents the substitution).
+ */
+
+#pragma once
+
+#include "gcn/model.hpp"
+#include "gcn/ops_count.hpp"
+#include "graph/datasets.hpp"
+
+namespace awb {
+
+/** Effective-throughput model of a server CPU running sparse GCN. */
+struct CpuModelConstants
+{
+    /** Sustained SpMM GFLOP/s of the paper's Xeon E5-2698v4 with PyTorch:
+     *  sparse kernels reach only a few percent of peak. */
+    double effGflops = 2.0;
+    double watts = 135.0;        ///< package TDP
+    double overheadMs = 0.8;     ///< framework dispatch per inference
+};
+
+/** Roofline-style model of a Tesla-P100 running cuSPARSE SpMM. */
+struct GpuModelConstants
+{
+    double peakGflops = 9300.0;  ///< fp32 peak
+    /** cuSPARSE on ultra-sparse operands sustains ~0.1% of peak: back-
+     *  solved from the paper's own GPU latencies (Nell 130.65 ms for
+     *  1.56 GFLOP -> 0.13%; Reddit 2.43 s for 13.2 GFLOP -> 0.06%). */
+    double spmmEfficiency = 0.001;
+    double bandwidthGBs = 732.0; ///< HBM2
+    /** Launch + PyTorch dispatch; 0.4 ms/kernel reproduces the paper's
+     *  small-graph latencies (Cora 1.78 ms ~= 4 kernels x 0.4 ms). */
+    double kernelOverheadMs = 0.4;
+    int kernelsPerLayer = 2;     ///< XW and A(XW)
+    double watts = 250.0;        ///< board TDP
+};
+
+/**
+ * Wall-clock measure of the reference GCN on the host CPU (median of
+ * `reps` runs), in milliseconds. This is the honest CPU baseline for
+ * datasets that fit.
+ */
+double measureCpuLatencyMs(const Dataset &ds, const GcnModel &model,
+                           int reps = 3);
+
+/** Analytic CPU latency from op counts (used at full Nell/Reddit scale). */
+double modelCpuLatencyMs(const NetworkOps &ops,
+                         const CpuModelConstants &c = CpuModelConstants{});
+
+/** Analytic GPU latency from op counts. */
+double modelGpuLatencyMs(const NetworkOps &ops, int layers,
+                         const GpuModelConstants &c = GpuModelConstants{});
+
+} // namespace awb

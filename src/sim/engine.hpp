@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Minimal clocked simulation kernel: components implement tick(cycle) and
+ * an engine advances them in registration order until a quiescence
+ * predicate holds. Registration order defines intra-cycle evaluation order
+ * (downstream components are registered first so a value takes one cycle
+ * per pipeline stage, matching the RTL).
+ */
+
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace awb {
+
+/** Base class for everything that owns per-cycle behaviour. */
+class Component
+{
+  public:
+    explicit Component(std::string name) : name_(std::move(name)) {}
+    virtual ~Component() = default;
+
+    /** Advance one clock cycle. */
+    virtual void tick(Cycle cycle) = 0;
+
+    /** True when the component has no pending work. */
+    virtual bool quiescent() const = 0;
+
+    const std::string &name() const { return name_; }
+
+  private:
+    std::string name_;
+};
+
+/**
+ * Fixed-order cycle driver. Not event-driven: the accelerator is a
+ * streaming design where nearly every unit is active nearly every cycle,
+ * so a ticked model is both simpler and faster than an event queue.
+ */
+class Engine
+{
+  public:
+    /** Register a component; earlier registrations tick first each cycle. */
+    void add(Component *c) { components_.push_back(c); }
+
+    /**
+     * Run until every component is quiescent (checked after each cycle) or
+     * `max_cycles` elapse. Returns the number of cycles executed.
+     */
+    Cycle
+    run(Cycle max_cycles)
+    {
+        Cycle executed = 0;
+        while (executed < max_cycles) {
+            for (Component *c : components_) c->tick(now_);
+            ++now_;
+            ++executed;
+            bool idle = true;
+            for (Component *c : components_) {
+                if (!c->quiescent()) {
+                    idle = false;
+                    break;
+                }
+            }
+            if (idle) break;
+        }
+        return executed;
+    }
+
+    Cycle now() const { return now_; }
+    void resetClock() { now_ = 0; }
+
+  private:
+    std::vector<Component *> components_;
+    Cycle now_ = 0;
+};
+
+} // namespace awb

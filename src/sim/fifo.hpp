@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Bounded FIFO queue with occupancy statistics.
+ *
+ * Every hardware buffer in the design (PE task queues, Omega-network router
+ * buffers, the remote-balancing control registers) is modelled with this
+ * class. Peak occupancy is tracked because the paper sizes the physical
+ * task queues by worst-case depth (§5.2: Nell's TQ depth drops from 65128
+ * to 2675 once rebalancing is enabled) and the Fig. 14 K-O area results are
+ * dominated by it.
+ */
+
+#pragma once
+
+#include <deque>
+#include <limits>
+
+#include "common/log.hpp"
+#include "common/types.hpp"
+
+namespace awb {
+
+/**
+ * FIFO with optional capacity. capacity == 0 means unbounded (used when
+ * measuring the depth a physical queue would need).
+ */
+template <typename T>
+class Fifo
+{
+  public:
+    explicit Fifo(std::size_t capacity = 0) : capacity_(capacity) {}
+
+    bool empty() const { return q_.empty(); }
+    std::size_t size() const { return q_.size(); }
+
+    bool
+    full() const
+    {
+        return capacity_ != 0 && q_.size() >= capacity_;
+    }
+
+    /** Push; returns false (and drops nothing) when full. */
+    bool
+    push(T item)
+    {
+        if (full()) return false;
+        q_.push_back(std::move(item));
+        peak_ = std::max(peak_, q_.size());
+        ++pushes_;
+        return true;
+    }
+
+    const T &
+    front() const
+    {
+        if (q_.empty()) panic("Fifo::front on empty queue");
+        return q_.front();
+    }
+
+    T
+    pop()
+    {
+        if (q_.empty()) panic("Fifo::pop on empty queue");
+        T item = std::move(q_.front());
+        q_.pop_front();
+        return item;
+    }
+
+    /** Indexed peek (0 == front); used by multi-queue arbiters. */
+    const T &
+    at(std::size_t i) const
+    {
+        return q_.at(i);
+    }
+
+    std::size_t peakOccupancy() const { return peak_; }
+    Count totalPushes() const { return pushes_; }
+    std::size_t capacity() const { return capacity_; }
+
+    void
+    clearStats()
+    {
+        peak_ = q_.size();
+        pushes_ = 0;
+    }
+
+  private:
+    std::size_t capacity_;
+    std::deque<T> q_;
+    std::size_t peak_ = 0;
+    Count pushes_ = 0;
+};
+
+} // namespace awb

@@ -1,0 +1,109 @@
+#include "sparse/convert.hpp"
+
+namespace awb {
+
+namespace {
+
+/** Rebuild a COO from CSR arrays. */
+CooMatrix
+csrAsCoo(const CsrMatrix &a)
+{
+    CooMatrix coo(a.rows(), a.cols());
+    for (Index i = 0; i < a.rows(); ++i) {
+        for (Count k = a.rowPtr()[static_cast<std::size_t>(i)];
+             k < a.rowPtr()[static_cast<std::size_t>(i) + 1]; ++k) {
+            coo.add(i, a.colId()[static_cast<std::size_t>(k)],
+                    a.val()[static_cast<std::size_t>(k)]);
+        }
+    }
+    return coo;
+}
+
+/** Rebuild a COO from CSC arrays. */
+CooMatrix
+cscAsCoo(const CscMatrix &a)
+{
+    CooMatrix coo(a.rows(), a.cols());
+    for (Index j = 0; j < a.cols(); ++j) {
+        for (Count k = a.colPtr()[static_cast<std::size_t>(j)];
+             k < a.colPtr()[static_cast<std::size_t>(j) + 1]; ++k) {
+            coo.add(a.rowId()[static_cast<std::size_t>(k)], j,
+                    a.val()[static_cast<std::size_t>(k)]);
+        }
+    }
+    return coo;
+}
+
+} // namespace
+
+CscMatrix
+csrToCsc(const CsrMatrix &a)
+{
+    return CscMatrix::fromCoo(csrAsCoo(a));
+}
+
+CsrMatrix
+cscToCsr(const CscMatrix &a)
+{
+    return CsrMatrix::fromCoo(cscAsCoo(a));
+}
+
+CooMatrix
+denseToCoo(const DenseMatrix &a)
+{
+    CooMatrix coo(a.rows(), a.cols());
+    for (Index i = 0; i < a.rows(); ++i)
+        for (Index j = 0; j < a.cols(); ++j)
+            if (a.at(i, j) != Value(0)) coo.add(i, j, a.at(i, j));
+    return coo;
+}
+
+DenseMatrix
+cscToDense(const CscMatrix &a)
+{
+    DenseMatrix d(a.rows(), a.cols());
+    for (Index j = 0; j < a.cols(); ++j) {
+        for (Count k = a.colPtr()[static_cast<std::size_t>(j)];
+             k < a.colPtr()[static_cast<std::size_t>(j) + 1]; ++k) {
+            d.at(a.rowId()[static_cast<std::size_t>(k)], j) =
+                a.val()[static_cast<std::size_t>(k)];
+        }
+    }
+    return d;
+}
+
+DenseMatrix
+csrToDense(const CsrMatrix &a)
+{
+    DenseMatrix d(a.rows(), a.cols());
+    for (Index i = 0; i < a.rows(); ++i) {
+        for (Count k = a.rowPtr()[static_cast<std::size_t>(i)];
+             k < a.rowPtr()[static_cast<std::size_t>(i) + 1]; ++k) {
+            d.at(i, a.colId()[static_cast<std::size_t>(k)]) =
+                a.val()[static_cast<std::size_t>(k)];
+        }
+    }
+    return d;
+}
+
+DenseMatrix
+cooToDense(const CooMatrix &a)
+{
+    DenseMatrix d(a.rows(), a.cols());
+    for (const Triplet &t : a.entries()) d.at(t.row, t.col) += t.val;
+    return d;
+}
+
+CscMatrix
+denseToCsc(const DenseMatrix &a)
+{
+    return CscMatrix::fromCoo(denseToCoo(a));
+}
+
+CsrMatrix
+denseToCsr(const DenseMatrix &a)
+{
+    return CsrMatrix::fromCoo(denseToCoo(a));
+}
+
+} // namespace awb

@@ -1,0 +1,60 @@
+#include "sparse/coo.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace awb {
+
+void
+CooMatrix::add(Index r, Index c, Value v)
+{
+    if (r < 0 || r >= rows_ || c < 0 || c >= cols_)
+        panic("CooMatrix::add out-of-range coordinate");
+    entries_.push_back({r, c, v});
+}
+
+void
+CooMatrix::canonicalize()
+{
+    std::sort(entries_.begin(), entries_.end(),
+              [](const Triplet &a, const Triplet &b) {
+                  return a.row != b.row ? a.row < b.row : a.col < b.col;
+              });
+    std::vector<Triplet> merged;
+    merged.reserve(entries_.size());
+    for (const Triplet &t : entries_) {
+        if (!merged.empty() && merged.back().row == t.row &&
+            merged.back().col == t.col) {
+            merged.back().val += t.val;
+        } else {
+            merged.push_back(t);
+        }
+    }
+    merged.erase(std::remove_if(merged.begin(), merged.end(),
+                                [](const Triplet &t) {
+                                    return t.val == Value(0);
+                                }),
+                 merged.end());
+    entries_ = std::move(merged);
+}
+
+double
+CooMatrix::density() const
+{
+    if (rows_ == 0 || cols_ == 0) return 0.0;
+    return static_cast<double>(nnz()) /
+           (static_cast<double>(rows_) * static_cast<double>(cols_));
+}
+
+bool
+CooMatrix::valid() const
+{
+    for (const Triplet &t : entries_) {
+        if (t.row < 0 || t.row >= rows_ || t.col < 0 || t.col >= cols_)
+            return false;
+    }
+    return true;
+}
+
+} // namespace awb

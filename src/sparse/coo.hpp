@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Coordinate-format sparse matrix: the interchange format produced by the
+ * graph generators and the Matrix Market reader, and the source for CSR/CSC
+ * construction.
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace awb {
+
+/** One non-zero entry. */
+struct Triplet
+{
+    Index row;
+    Index col;
+    Value val;
+};
+
+/**
+ * Sparse matrix as an unordered list of (row, col, value) triplets.
+ * Duplicate coordinates are permitted until canonicalize() merges them.
+ */
+class CooMatrix
+{
+  public:
+    CooMatrix() = default;
+    CooMatrix(Index rows, Index cols) : rows_(rows), cols_(cols) {}
+
+    Index rows() const { return rows_; }
+    Index cols() const { return cols_; }
+    Count nnz() const { return static_cast<Count>(entries_.size()); }
+
+    /** Append one non-zero. Coordinates must be in range. */
+    void add(Index r, Index c, Value v);
+
+    const std::vector<Triplet> &entries() const { return entries_; }
+    std::vector<Triplet> &entries() { return entries_; }
+
+    /**
+     * Sort by (row, col) and merge duplicate coordinates by summing their
+     * values; entries that sum to exactly zero are dropped.
+     */
+    void canonicalize();
+
+    /** Fraction of the rows*cols entries that are non-zero. */
+    double density() const;
+
+    /** True if every stored coordinate is within bounds. */
+    bool valid() const;
+
+  private:
+    Index rows_ = 0;
+    Index cols_ = 0;
+    std::vector<Triplet> entries_;
+};
+
+} // namespace awb

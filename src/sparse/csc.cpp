@@ -1,0 +1,100 @@
+#include "sparse/csc.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+#include "sparse/coo.hpp"
+
+namespace awb {
+
+std::vector<Count>
+CscMatrix::rowNnz() const
+{
+    std::vector<Count> counts(static_cast<std::size_t>(rows_), 0);
+    for (Index r : rowId_) ++counts[static_cast<std::size_t>(r)];
+    return counts;
+}
+
+double
+CscMatrix::density() const
+{
+    if (rows_ == 0 || cols_ == 0) return 0.0;
+    return static_cast<double>(nnz()) /
+           (static_cast<double>(rows_) * static_cast<double>(cols_));
+}
+
+bool
+CscMatrix::valid() const
+{
+    if (colPtr_.size() != static_cast<std::size_t>(cols_) + 1) return false;
+    if (colPtr_.front() != 0) return false;
+    if (colPtr_.back() != nnz()) return false;
+    for (Index j = 0; j < cols_; ++j) {
+        auto lo = colPtr_[static_cast<std::size_t>(j)];
+        auto hi = colPtr_[static_cast<std::size_t>(j) + 1];
+        if (lo > hi) return false;
+        for (Count k = lo; k < hi; ++k) {
+            Index r = rowId_[static_cast<std::size_t>(k)];
+            if (r < 0 || r >= rows_) return false;
+            if (k > lo && rowId_[static_cast<std::size_t>(k - 1)] >= r)
+                return false;
+        }
+    }
+    return true;
+}
+
+CscMatrix
+CscMatrix::fromCoo(const CooMatrix &coo)
+{
+    CscMatrix m(coo.rows(), coo.cols());
+    const auto &ent = coo.entries();
+    // Count per-column occupancy.
+    for (const Triplet &t : ent)
+        ++m.colPtr_[static_cast<std::size_t>(t.col) + 1];
+    for (std::size_t j = 1; j < m.colPtr_.size(); ++j)
+        m.colPtr_[j] += m.colPtr_[j - 1];
+    m.rowId_.resize(ent.size());
+    m.val_.resize(ent.size());
+    std::vector<Count> cursor(m.colPtr_.begin(), m.colPtr_.end() - 1);
+    for (const Triplet &t : ent) {
+        Count k = cursor[static_cast<std::size_t>(t.col)]++;
+        m.rowId_[static_cast<std::size_t>(k)] = t.row;
+        m.val_[static_cast<std::size_t>(k)] = t.val;
+    }
+    // Sort each column by row index (COO canonicalization already sorts by
+    // (row, col), which makes the scatter above row-ordered per column, but
+    // we do not rely on the caller having canonicalized).
+    for (Index j = 0; j < m.cols_; ++j) {
+        auto lo = m.colPtr_[static_cast<std::size_t>(j)];
+        auto hi = m.colPtr_[static_cast<std::size_t>(j) + 1];
+        std::vector<std::pair<Index, Value>> tmp;
+        tmp.reserve(static_cast<std::size_t>(hi - lo));
+        for (Count k = lo; k < hi; ++k)
+            tmp.emplace_back(m.rowId_[static_cast<std::size_t>(k)],
+                             m.val_[static_cast<std::size_t>(k)]);
+        std::sort(tmp.begin(), tmp.end());
+        for (Count k = lo; k < hi; ++k) {
+            m.rowId_[static_cast<std::size_t>(k)] =
+                tmp[static_cast<std::size_t>(k - lo)].first;
+            m.val_[static_cast<std::size_t>(k)] =
+                tmp[static_cast<std::size_t>(k - lo)].second;
+        }
+    }
+    return m;
+}
+
+CscMatrix
+CscMatrix::fromParts(Index rows, Index cols, std::vector<Count> col_ptr,
+                     std::vector<Index> row_id, std::vector<Value> val)
+{
+    CscMatrix m;
+    m.rows_ = rows;
+    m.cols_ = cols;
+    m.colPtr_ = std::move(col_ptr);
+    m.rowId_ = std::move(row_id);
+    m.val_ = std::move(val);
+    if (!m.valid()) panic("CscMatrix::fromParts: invalid structure");
+    return m;
+}
+
+} // namespace awb

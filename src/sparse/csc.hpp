@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Compressed-Sparse-Column matrix — the storage format of the ultra-sparse
+ * adjacency matrix A in the accelerator (paper Figure 4). TDQ-2 streams the
+ * val/rowId arrays column by column through the Omega network.
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace awb {
+
+class CooMatrix;
+
+/**
+ * CSC sparse matrix: colPtr has cols()+1 entries; the non-zeros of column j
+ * occupy [colPtr[j], colPtr[j+1]) in rowId/val, sorted by row within each
+ * column.
+ */
+class CscMatrix
+{
+  public:
+    CscMatrix() = default;
+
+    /** Build an empty rows x cols matrix (all-zero). */
+    CscMatrix(Index rows, Index cols)
+        : rows_(rows), cols_(cols),
+          colPtr_(static_cast<std::size_t>(cols) + 1, 0)
+    {}
+
+    Index rows() const { return rows_; }
+    Index cols() const { return cols_; }
+    Count nnz() const { return static_cast<Count>(val_.size()); }
+
+    const std::vector<Count> &colPtr() const { return colPtr_; }
+    const std::vector<Index> &rowId() const { return rowId_; }
+    const std::vector<Value> &val() const { return val_; }
+
+    /** Number of non-zeros in column j. */
+    Count
+    colNnz(Index j) const
+    {
+        return colPtr_[static_cast<std::size_t>(j) + 1] -
+               colPtr_[static_cast<std::size_t>(j)];
+    }
+
+    /** Number of non-zeros in each row (the Fig. 1/13 distribution). */
+    std::vector<Count> rowNnz() const;
+
+    /** Fraction of entries that are non-zero. */
+    double density() const;
+
+    /** Validate the structural invariants (monotone colPtr, sorted rows). */
+    bool valid() const;
+
+    /** Construct from a canonicalized COO matrix. */
+    static CscMatrix fromCoo(const CooMatrix &coo);
+
+    /** Raw-array constructor used by converters; takes ownership. */
+    static CscMatrix fromParts(Index rows, Index cols,
+                               std::vector<Count> col_ptr,
+                               std::vector<Index> row_id,
+                               std::vector<Value> val);
+
+  private:
+    Index rows_ = 0;
+    Index cols_ = 0;
+    std::vector<Count> colPtr_;
+    std::vector<Index> rowId_;
+    std::vector<Value> val_;
+};
+
+} // namespace awb

@@ -1,0 +1,88 @@
+#include "sparse/csr.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+#include "sparse/coo.hpp"
+
+namespace awb {
+
+double
+CsrMatrix::density() const
+{
+    if (rows_ == 0 || cols_ == 0) return 0.0;
+    return static_cast<double>(nnz()) /
+           (static_cast<double>(rows_) * static_cast<double>(cols_));
+}
+
+bool
+CsrMatrix::valid() const
+{
+    if (rowPtr_.size() != static_cast<std::size_t>(rows_) + 1) return false;
+    if (rowPtr_.front() != 0) return false;
+    if (rowPtr_.back() != nnz()) return false;
+    for (Index i = 0; i < rows_; ++i) {
+        auto lo = rowPtr_[static_cast<std::size_t>(i)];
+        auto hi = rowPtr_[static_cast<std::size_t>(i) + 1];
+        if (lo > hi) return false;
+        for (Count k = lo; k < hi; ++k) {
+            Index c = colId_[static_cast<std::size_t>(k)];
+            if (c < 0 || c >= cols_) return false;
+            if (k > lo && colId_[static_cast<std::size_t>(k - 1)] >= c)
+                return false;
+        }
+    }
+    return true;
+}
+
+CsrMatrix
+CsrMatrix::fromCoo(const CooMatrix &coo)
+{
+    CsrMatrix m(coo.rows(), coo.cols());
+    const auto &ent = coo.entries();
+    for (const Triplet &t : ent)
+        ++m.rowPtr_[static_cast<std::size_t>(t.row) + 1];
+    for (std::size_t i = 1; i < m.rowPtr_.size(); ++i)
+        m.rowPtr_[i] += m.rowPtr_[i - 1];
+    m.colId_.resize(ent.size());
+    m.val_.resize(ent.size());
+    std::vector<Count> cursor(m.rowPtr_.begin(), m.rowPtr_.end() - 1);
+    for (const Triplet &t : ent) {
+        Count k = cursor[static_cast<std::size_t>(t.row)]++;
+        m.colId_[static_cast<std::size_t>(k)] = t.col;
+        m.val_[static_cast<std::size_t>(k)] = t.val;
+    }
+    for (Index i = 0; i < m.rows_; ++i) {
+        auto lo = m.rowPtr_[static_cast<std::size_t>(i)];
+        auto hi = m.rowPtr_[static_cast<std::size_t>(i) + 1];
+        std::vector<std::pair<Index, Value>> tmp;
+        tmp.reserve(static_cast<std::size_t>(hi - lo));
+        for (Count k = lo; k < hi; ++k)
+            tmp.emplace_back(m.colId_[static_cast<std::size_t>(k)],
+                             m.val_[static_cast<std::size_t>(k)]);
+        std::sort(tmp.begin(), tmp.end());
+        for (Count k = lo; k < hi; ++k) {
+            m.colId_[static_cast<std::size_t>(k)] =
+                tmp[static_cast<std::size_t>(k - lo)].first;
+            m.val_[static_cast<std::size_t>(k)] =
+                tmp[static_cast<std::size_t>(k - lo)].second;
+        }
+    }
+    return m;
+}
+
+CsrMatrix
+CsrMatrix::fromParts(Index rows, Index cols, std::vector<Count> row_ptr,
+                     std::vector<Index> col_id, std::vector<Value> val)
+{
+    CsrMatrix m;
+    m.rows_ = rows;
+    m.cols_ = cols;
+    m.rowPtr_ = std::move(row_ptr);
+    m.colId_ = std::move(col_id);
+    m.val_ = std::move(val);
+    if (!m.valid()) panic("CsrMatrix::fromParts: invalid structure");
+    return m;
+}
+
+} // namespace awb

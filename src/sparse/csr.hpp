@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Compressed-Sparse-Row matrix. Used by the reference software SpMM (the
+ * CPU baseline of Table 3) and by row-oriented analyses such as the
+ * per-row non-zero histograms of Figures 1 and 13.
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace awb {
+
+class CooMatrix;
+
+/**
+ * CSR sparse matrix: rowPtr has rows()+1 entries; the non-zeros of row i
+ * occupy [rowPtr[i], rowPtr[i+1]) in colId/val, sorted by column within
+ * each row.
+ */
+class CsrMatrix
+{
+  public:
+    CsrMatrix() = default;
+
+    CsrMatrix(Index rows, Index cols)
+        : rows_(rows), cols_(cols),
+          rowPtr_(static_cast<std::size_t>(rows) + 1, 0)
+    {}
+
+    Index rows() const { return rows_; }
+    Index cols() const { return cols_; }
+    Count nnz() const { return static_cast<Count>(val_.size()); }
+
+    const std::vector<Count> &rowPtr() const { return rowPtr_; }
+    const std::vector<Index> &colId() const { return colId_; }
+    const std::vector<Value> &val() const { return val_; }
+
+    /** Number of non-zeros in row i. */
+    Count
+    rowNnz(Index i) const
+    {
+        return rowPtr_[static_cast<std::size_t>(i) + 1] -
+               rowPtr_[static_cast<std::size_t>(i)];
+    }
+
+    double density() const;
+
+    /** Validate structural invariants. */
+    bool valid() const;
+
+    static CsrMatrix fromCoo(const CooMatrix &coo);
+
+    static CsrMatrix fromParts(Index rows, Index cols,
+                               std::vector<Count> row_ptr,
+                               std::vector<Index> col_id,
+                               std::vector<Value> val);
+
+  private:
+    Index rows_ = 0;
+    Index cols_ = 0;
+    std::vector<Count> rowPtr_;
+    std::vector<Index> colId_;
+    std::vector<Value> val_;
+};
+
+} // namespace awb

@@ -1,0 +1,88 @@
+#include "sparse/dense.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hpp"
+
+namespace awb {
+
+Count
+DenseMatrix::nnz() const
+{
+    Count n = 0;
+    for (Value v : data_)
+        if (v != Value(0)) ++n;
+    return n;
+}
+
+double
+DenseMatrix::density() const
+{
+    if (data_.empty()) return 0.0;
+    return static_cast<double>(nnz()) / static_cast<double>(data_.size());
+}
+
+void
+DenseMatrix::clear()
+{
+    std::fill(data_.begin(), data_.end(), Value(0));
+}
+
+void
+DenseMatrix::fillUniform(Rng &rng, Value lo, Value hi)
+{
+    for (Value &v : data_) v = rng.nextFloat(lo, hi);
+}
+
+void
+DenseMatrix::fillSparse(Rng &rng, double density, Value lo, Value hi)
+{
+    for (Value &v : data_) {
+        if (!rng.nextBool(density)) {
+            v = Value(0);
+            continue;
+        }
+        v = rng.nextFloat(lo, hi);
+        if (v == Value(0)) v = (hi != Value(0)) ? hi : Value(1);
+    }
+}
+
+void
+DenseMatrix::relu()
+{
+    for (Value &v : data_) v = std::max(v, Value(0));
+}
+
+double
+DenseMatrix::maxAbsDiff(const DenseMatrix &other) const
+{
+    if (!sameShape(other))
+        panic("maxAbsDiff on mismatched shapes");
+    double m = 0.0;
+    for (std::size_t i = 0; i < data_.size(); ++i)
+        m = std::max(m, std::fabs(static_cast<double>(data_[i]) -
+                                  static_cast<double>(other.data()[i])));
+    return m;
+}
+
+DenseMatrix
+multiply(const DenseMatrix &a, const DenseMatrix &b)
+{
+    if (a.cols() != b.rows())
+        panic("dense multiply: inner dimensions differ");
+    DenseMatrix c(a.rows(), b.cols());
+    for (Index i = 0; i < a.rows(); ++i) {
+        for (Index k = 0; k < a.cols(); ++k) {
+            Value aik = a.at(i, k);
+            if (aik == Value(0)) continue;
+            const Value *brow = b.rowPtr(k);
+            Value *crow = c.rowPtr(i);
+            for (Index j = 0; j < b.cols(); ++j)
+                crow[j] += aik * brow[j];
+        }
+    }
+    return c;
+}
+
+} // namespace awb

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Row-major dense matrix, the representation for feature matrices X,
+ * weight matrices W and SPMM results in the reference model.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace awb {
+
+/**
+ * A rows x cols dense matrix of Value stored row-major.
+ *
+ * The GCN feature matrices X are "general sparse" in the paper but stored
+ * in dense format by the hardware (TDQ-1 consumes them densely); this class
+ * is therefore also used for sparse-in-content feature matrices.
+ */
+class DenseMatrix
+{
+  public:
+    DenseMatrix() = default;
+
+    /** Create a zero-initialized rows x cols matrix. */
+    DenseMatrix(Index rows, Index cols)
+        : rows_(rows), cols_(cols),
+          data_(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols),
+                Value(0))
+    {}
+
+    Index rows() const { return rows_; }
+    Index cols() const { return cols_; }
+
+    Value &
+    at(Index r, Index c)
+    {
+        return data_[static_cast<std::size_t>(r) *
+                     static_cast<std::size_t>(cols_) +
+                     static_cast<std::size_t>(c)];
+    }
+
+    Value
+    at(Index r, Index c) const
+    {
+        return data_[static_cast<std::size_t>(r) *
+                     static_cast<std::size_t>(cols_) +
+                     static_cast<std::size_t>(c)];
+    }
+
+    /** Pointer to the start of row r. */
+    Value *rowPtr(Index r) { return data_.data() + static_cast<std::size_t>(r) * cols_; }
+    const Value *rowPtr(Index r) const { return data_.data() + static_cast<std::size_t>(r) * cols_; }
+
+    const std::vector<Value> &data() const { return data_; }
+    std::vector<Value> &data() { return data_; }
+
+    /** Number of non-zero entries. */
+    Count nnz() const;
+
+    /** Fraction of entries that are non-zero, in [0, 1]. */
+    double density() const;
+
+    /** Set all entries to zero. */
+    void clear();
+
+    /** Fill with uniform random values in [lo, hi). */
+    void fillUniform(Rng &rng, Value lo, Value hi);
+
+    /**
+     * Fill so that approximately `density` of entries are non-zero
+     * (non-zeros uniform in [lo, hi), rest zero). Used to synthesize the
+     * general-sparse feature matrices of Table 1.
+     */
+    void fillSparse(Rng &rng, double density, Value lo, Value hi);
+
+    /** Elementwise ReLU in place. */
+    void relu();
+
+    /** Max absolute difference against another matrix of the same shape. */
+    double maxAbsDiff(const DenseMatrix &other) const;
+
+    bool
+    sameShape(const DenseMatrix &o) const
+    {
+        return rows_ == o.rows_ && cols_ == o.cols_;
+    }
+
+  private:
+    Index rows_ = 0;
+    Index cols_ = 0;
+    std::vector<Value> data_;
+};
+
+/** Reference dense GEMM: C = A * B. Shapes must agree. */
+DenseMatrix multiply(const DenseMatrix &a, const DenseMatrix &b);
+
+} // namespace awb

@@ -1,0 +1,91 @@
+#include "sparse/mm_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/log.hpp"
+
+namespace awb {
+
+CooMatrix
+readMatrixMarket(std::istream &in)
+{
+    std::string line;
+    if (!std::getline(in, line))
+        fatal("MatrixMarket: empty input");
+    std::istringstream hdr(line);
+    std::string banner, object, fmt, field, symmetry;
+    hdr >> banner >> object >> fmt >> field >> symmetry;
+    if (banner != "%%MatrixMarket" || object != "matrix")
+        fatal("MatrixMarket: bad banner '" + line + "'");
+    if (fmt != "coordinate")
+        fatal("MatrixMarket: only coordinate format supported");
+    bool pattern = (field == "pattern");
+    if (field != "real" && field != "integer" && !pattern)
+        fatal("MatrixMarket: unsupported field '" + field + "'");
+    bool symmetric = (symmetry == "symmetric");
+    if (symmetry != "general" && !symmetric)
+        fatal("MatrixMarket: unsupported symmetry '" + symmetry + "'");
+
+    // Skip comments.
+    do {
+        if (!std::getline(in, line))
+            fatal("MatrixMarket: missing size line");
+    } while (!line.empty() && line[0] == '%');
+
+    std::istringstream size(line);
+    long rows = 0, cols = 0, nnz = 0;
+    size >> rows >> cols >> nnz;
+    if (rows <= 0 || cols <= 0 || nnz < 0)
+        fatal("MatrixMarket: bad size line '" + line + "'");
+
+    CooMatrix m(static_cast<Index>(rows), static_cast<Index>(cols));
+    for (long e = 0; e < nnz; ++e) {
+        if (!std::getline(in, line))
+            fatal("MatrixMarket: truncated entry list");
+        if (line.empty() || line[0] == '%') { --e; continue; }
+        std::istringstream es(line);
+        long r = 0, c = 0;
+        double v = 1.0;
+        es >> r >> c;
+        if (!pattern) es >> v;
+        if (r < 1 || r > rows || c < 1 || c > cols)
+            fatal("MatrixMarket: entry out of range: '" + line + "'");
+        m.add(static_cast<Index>(r - 1), static_cast<Index>(c - 1),
+              static_cast<Value>(v));
+        if (symmetric && r != c) {
+            m.add(static_cast<Index>(c - 1), static_cast<Index>(r - 1),
+                  static_cast<Value>(v));
+        }
+    }
+    m.canonicalize();
+    return m;
+}
+
+CooMatrix
+readMatrixMarketFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in) fatal("cannot open Matrix Market file: " + path);
+    return readMatrixMarket(in);
+}
+
+void
+writeMatrixMarket(std::ostream &out, const CooMatrix &m)
+{
+    out << "%%MatrixMarket matrix coordinate real general\n";
+    out << m.rows() << " " << m.cols() << " " << m.nnz() << "\n";
+    for (const Triplet &t : m.entries())
+        out << (t.row + 1) << " " << (t.col + 1) << " " << t.val << "\n";
+}
+
+void
+writeMatrixMarketFile(const std::string &path, const CooMatrix &m)
+{
+    std::ofstream out(path);
+    if (!out) fatal("cannot open for write: " + path);
+    writeMatrixMarket(out, m);
+}
+
+} // namespace awb

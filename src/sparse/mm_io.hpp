@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Matrix Market (.mtx) reader/writer so users can run the accelerator on
+ * real graph datasets (e.g. the SuiteSparse copies of Cora/Pubmed) instead
+ * of the synthetic equivalents bundled with this repository.
+ *
+ * Supports the `matrix coordinate real/integer/pattern general/symmetric`
+ * subset, which covers published graph adjacency matrices.
+ */
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sparse/coo.hpp"
+
+namespace awb {
+
+/** Parse a Matrix Market stream into COO. Throws via fatal() on bad input. */
+CooMatrix readMatrixMarket(std::istream &in);
+
+/** Load a .mtx file. */
+CooMatrix readMatrixMarketFile(const std::string &path);
+
+/** Write COO as `matrix coordinate real general`. */
+void writeMatrixMarket(std::ostream &out, const CooMatrix &m);
+
+/** Save to a .mtx file. */
+void writeMatrixMarketFile(const std::string &path, const CooMatrix &m);
+
+} // namespace awb

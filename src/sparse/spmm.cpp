@@ -1,0 +1,76 @@
+#include "sparse/spmm.hpp"
+
+#include "common/log.hpp"
+
+namespace awb {
+
+DenseMatrix
+spmmCsc(const CscMatrix &a, const DenseMatrix &b)
+{
+    if (a.cols() != b.rows()) panic("spmmCsc: inner dimensions differ");
+    DenseMatrix c(a.rows(), b.cols());
+    // Stream B element-by-element: b(j, k) broadcasts to column j of A
+    // (paper Eq. 4). Loop order chosen for cache locality on C.
+    for (Index k = 0; k < b.cols(); ++k) {
+        for (Index j = 0; j < a.cols(); ++j) {
+            Value bjk = b.at(j, k);
+            if (bjk == Value(0)) continue;
+            for (Count p = a.colPtr()[static_cast<std::size_t>(j)];
+                 p < a.colPtr()[static_cast<std::size_t>(j) + 1]; ++p) {
+                c.at(a.rowId()[static_cast<std::size_t>(p)], k) +=
+                    a.val()[static_cast<std::size_t>(p)] * bjk;
+            }
+        }
+    }
+    return c;
+}
+
+DenseMatrix
+spmmCsr(const CsrMatrix &a, const DenseMatrix &b)
+{
+    if (a.cols() != b.rows()) panic("spmmCsr: inner dimensions differ");
+    DenseMatrix c(a.rows(), b.cols());
+    for (Index i = 0; i < a.rows(); ++i) {
+        Value *crow = c.rowPtr(i);
+        for (Count p = a.rowPtr()[static_cast<std::size_t>(i)];
+             p < a.rowPtr()[static_cast<std::size_t>(i) + 1]; ++p) {
+            Index j = a.colId()[static_cast<std::size_t>(p)];
+            Value av = a.val()[static_cast<std::size_t>(p)];
+            const Value *brow = b.rowPtr(j);
+            for (Index k = 0; k < b.cols(); ++k) crow[k] += av * brow[k];
+        }
+    }
+    return c;
+}
+
+DenseMatrix
+spmmDenseStored(const DenseMatrix &a, const DenseMatrix &b)
+{
+    if (a.cols() != b.rows())
+        panic("spmmDenseStored: inner dimensions differ");
+    DenseMatrix c(a.rows(), b.cols());
+    for (Index i = 0; i < a.rows(); ++i) {
+        Value *crow = c.rowPtr(i);
+        for (Index j = 0; j < a.cols(); ++j) {
+            Value aij = a.at(i, j);
+            if (aij == Value(0)) continue;
+            const Value *brow = b.rowPtr(j);
+            for (Index k = 0; k < b.cols(); ++k) crow[k] += aij * brow[k];
+        }
+    }
+    return c;
+}
+
+Count
+spmmMultCount(const CscMatrix &a, const DenseMatrix &b)
+{
+    return a.nnz() * static_cast<Count>(b.cols());
+}
+
+Count
+spmmMultCount(const DenseMatrix &a, const DenseMatrix &b)
+{
+    return a.nnz() * static_cast<Count>(b.cols());
+}
+
+} // namespace awb

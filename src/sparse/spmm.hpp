@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Reference (software) sparse-matrix multiplication kernels.
+ *
+ * These are the functional golden models against which the cycle-accurate
+ * accelerator is validated, and the computation measured for the CPU row of
+ * Table 3. The column-streaming variant mirrors the paper's Eq. 4
+ * formulation: C_col(k) = sum_j A_col(j) * b(j, k).
+ */
+
+#pragma once
+
+#include "common/types.hpp"
+#include "sparse/csc.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/dense.hpp"
+
+namespace awb {
+
+/** C = A * B with A in CSC form (column-major streaming as in Eq. 4). */
+DenseMatrix spmmCsc(const CscMatrix &a, const DenseMatrix &b);
+
+/** C = A * B with A in CSR form (classic row-major kernel). */
+DenseMatrix spmmCsr(const CsrMatrix &a, const DenseMatrix &b);
+
+/**
+ * C = A * B where A is sparse-in-content but stored densely (the X x W
+ * SPMM of a GCN layer: X general-sparse, W dense). Zero entries of A are
+ * skipped, matching the hardware's zero-skipping TDQ-1 path.
+ */
+DenseMatrix spmmDenseStored(const DenseMatrix &a, const DenseMatrix &b);
+
+/** Number of scalar multiplications spmmCsc would perform: nnz(A)*cols(B). */
+Count spmmMultCount(const CscMatrix &a, const DenseMatrix &b);
+
+/** Number of scalar multiplications skipping zeros of dense-stored A. */
+Count spmmMultCount(const DenseMatrix &a, const DenseMatrix &b);
+
+} // namespace awb

@@ -1,0 +1,318 @@
+/**
+ * @file
+ * Unit tests for the accelerator building blocks: configuration factory,
+ * row partition, PE (RaW hazards, arbitration, accumulation), local
+ * sharing policy, and the remote-switching controller (Eq. 5 dynamics and
+ * convergence).
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "accel/config.hpp"
+#include "accel/local_share.hpp"
+#include "accel/pe.hpp"
+#include "accel/rebalance.hpp"
+#include "accel/row_map.hpp"
+
+using namespace awb;
+
+TEST(Config, DesignPoints)
+{
+    auto base = makeConfig(Design::Baseline, 64);
+    EXPECT_EQ(base.sharingHops, 0);
+    EXPECT_FALSE(base.remoteSwitching);
+
+    auto a = makeConfig(Design::LocalA, 64);
+    EXPECT_EQ(a.sharingHops, 1);
+    EXPECT_FALSE(a.remoteSwitching);
+
+    auto b = makeConfig(Design::LocalB, 64);
+    EXPECT_EQ(b.sharingHops, 2);
+
+    auto c = makeConfig(Design::RemoteC, 64);
+    EXPECT_EQ(c.sharingHops, 1);
+    EXPECT_TRUE(c.remoteSwitching);
+
+    auto d = makeConfig(Design::RemoteD, 64);
+    EXPECT_EQ(d.sharingHops, 2);
+    EXPECT_TRUE(d.remoteSwitching);
+
+    auto eie = makeConfig(Design::EieLike, 64);
+    EXPECT_EQ(eie.numQueuesPerPe, 1);
+    EXPECT_FALSE(eie.rebalancing());
+}
+
+TEST(Config, NellHopOverride)
+{
+    // Nell uses 2/3-hop instead of 1/2-hop (paper §5.2).
+    auto a = makeConfig(Design::LocalA, 64, 2);
+    EXPECT_EQ(a.sharingHops, 2);
+    auto d = makeConfig(Design::RemoteD, 64, 2);
+    EXPECT_EQ(d.sharingHops, 3);
+}
+
+TEST(RowPartition, BlockedAssignsContiguous)
+{
+    RowPartition part(16, 8, RowMapPolicy::Blocked);
+    // Paper Fig. 6: each two consecutive rows to one PE.
+    for (Index r = 0; r < 16; ++r) EXPECT_EQ(part.owner(r), r / 2);
+    EXPECT_TRUE(part.consistent());
+}
+
+TEST(RowPartition, CyclicAssignsRoundRobin)
+{
+    RowPartition part(16, 4, RowMapPolicy::Cyclic);
+    for (Index r = 0; r < 16; ++r) EXPECT_EQ(part.owner(r), r % 4);
+}
+
+TEST(RowPartition, MoveAndWorkload)
+{
+    RowPartition part(8, 2, RowMapPolicy::Blocked);
+    std::vector<Count> work = {5, 5, 5, 5, 1, 1, 1, 1};
+    auto w = part.workload(work);
+    EXPECT_EQ(w[0], 20);
+    EXPECT_EQ(w[1], 4);
+    part.moveRow(0, 1);
+    w = part.workload(work);
+    EXPECT_EQ(w[0], 15);
+    EXPECT_EQ(w[1], 9);
+    EXPECT_TRUE(part.consistent());
+}
+
+TEST(RowPartition, SwapRows)
+{
+    RowPartition part(8, 2, RowMapPolicy::Blocked);
+    part.swapRows({0, 1}, {4, 5}, 0, 1);
+    EXPECT_EQ(part.owner(0), 1);
+    EXPECT_EQ(part.owner(4), 0);
+    EXPECT_TRUE(part.consistent());
+    EXPECT_EQ(part.rowsOf(0).size(), 4u);
+    EXPECT_EQ(part.rowsOf(1).size(), 4u);
+}
+
+TEST(Pe, ExecutesAndAccumulates)
+{
+    Pe pe(0, 4, 0, 4);
+    std::vector<Value> acc(4, 0.0f);
+    pe.enqueue({0, 2.0f, 3.0f, 0});
+    pe.enqueue({1, 1.0f, 5.0f, 0});
+    for (Cycle t = 0; t < 10; ++t) pe.tick(t, acc);
+    EXPECT_FLOAT_EQ(acc[0], 6.0f);
+    EXPECT_FLOAT_EQ(acc[1], 5.0f);
+    EXPECT_TRUE(pe.drained(10));
+    EXPECT_EQ(pe.tasksThisRound(), 2);
+}
+
+TEST(Pe, RawHazardStallsSameRow)
+{
+    // Two tasks on the same row with MAC latency 4: the second must wait
+    // for the first to retire -> total ~latency+2 cycles, not 2.
+    Pe pe(0, 4, 0, 4);
+    std::vector<Value> acc(1, 0.0f);
+    pe.enqueue({0, 1.0f, 1.0f, 0});
+    pe.enqueue({0, 1.0f, 1.0f, 0});
+    Cycle done = -1;
+    for (Cycle t = 0; t < 20; ++t) {
+        pe.tick(t, acc);
+        if (done < 0 && pe.tasksThisRound() == 2) done = t;
+    }
+    EXPECT_FLOAT_EQ(acc[0], 2.0f);
+    EXPECT_GE(done, 4);  // issue at t=0, retire at t=4, reissue at t>=4
+    EXPECT_GT(pe.stats().find("rawStallCycles")->value(), 0);
+}
+
+TEST(Pe, DifferentRowsPipelineBackToBack)
+{
+    // Independent rows issue 1/cycle despite the 4-cycle MAC latency.
+    Pe pe(0, 4, 0, 4);
+    std::vector<Value> acc(8, 0.0f);
+    for (Index r = 0; r < 8; ++r) pe.enqueue({r, 1.0f, 1.0f, 0});
+    Cycle t = 0;
+    for (; t < 30 && pe.tasksThisRound() < 8; ++t) pe.tick(t, acc);
+    EXPECT_EQ(pe.tasksThisRound(), 8);
+    EXPECT_LE(t, 9);  // 8 issues + at most one skew cycle
+}
+
+TEST(Pe, MultipleQueuesDodgeHazard)
+{
+    // With 2 queues, a same-row pair in one queue does not block an
+    // independent task in the other queue.
+    Pe pe(0, 2, 0, 8);
+    std::vector<Value> acc(4, 0.0f);
+    pe.enqueue({0, 1.0f, 1.0f, 0});  // queue A
+    pe.enqueue({0, 1.0f, 1.0f, 0});  // queue B (shortest-queue placement)
+    pe.enqueue({1, 1.0f, 1.0f, 0});  // queue A again
+    int issued_by_cycle3 = 0;
+    for (Cycle t = 0; t < 3; ++t) {
+        pe.tick(t, acc);
+        issued_by_cycle3 = static_cast<int>(pe.tasksThisRound());
+    }
+    // Cycle 0 issues row 0; cycle 1 skips the second row-0 task and
+    // issues row 1 from the other queue.
+    EXPECT_GE(issued_by_cycle3, 2);
+}
+
+TEST(Pe, BoundedQueueBackpressure)
+{
+    Pe pe(0, 1, 2, 4);
+    EXPECT_TRUE(pe.enqueue({0, 1, 1, 0}));
+    EXPECT_TRUE(pe.enqueue({1, 1, 1, 0}));
+    EXPECT_FALSE(pe.canAccept());
+    EXPECT_FALSE(pe.enqueue({2, 1, 1, 0}));
+    EXPECT_EQ(pe.stats().find("enqueueRejects")->value(), 1);
+}
+
+TEST(LocalShare, PicksLeastLoadedNeighbour)
+{
+    std::vector<Pe> pes;
+    for (int i = 0; i < 5; ++i) pes.emplace_back(i, 1, 0, 4);
+    // Load PE 2 with 3 tasks, PE 1 with 1, PE 3 with 0.
+    for (int i = 0; i < 3; ++i) pes[2].enqueue({0, 1, 1, 2});
+    pes[1].enqueue({0, 1, 1, 1});
+
+    LocalSharer s1(1);
+    EXPECT_EQ(s1.choose(2, pes), 3);
+
+    LocalSharer s0(0);
+    EXPECT_EQ(s0.choose(2, pes), 2);  // hops=0: degenerate self
+}
+
+TEST(LocalShare, TieFavoursHome)
+{
+    std::vector<Pe> pes;
+    for (int i = 0; i < 3; ++i) pes.emplace_back(i, 1, 0, 4);
+    LocalSharer s(1);
+    EXPECT_EQ(s.choose(1, pes), 1);
+}
+
+TEST(LocalShare, RespectsArrayBounds)
+{
+    std::vector<Pe> pes;
+    for (int i = 0; i < 4; ++i) pes.emplace_back(i, 1, 0, 4);
+    LocalSharer s(2);
+    EXPECT_GE(s.choose(0, pes), 0);
+    EXPECT_LE(s.choose(3, pes), 3);
+}
+
+TEST(LocalShare, SkipsFullPes)
+{
+    std::vector<Pe> pes;
+    for (int i = 0; i < 3; ++i) pes.emplace_back(i, 1, 1, 4);
+    pes[1].enqueue({0, 1, 1, 1});  // home full
+    LocalSharer s(1);
+    int got = s.choose(1, pes);
+    EXPECT_NE(got, 1);
+    EXPECT_GE(got, 0);
+}
+
+namespace {
+
+/** Drive the switcher with synthetic per-round observations derived from
+ *  the partition itself (work == queue-observed work). */
+RoundObservation
+observe(const RowPartition &part, const std::vector<Count> &row_work)
+{
+    RoundObservation obs;
+    obs.peWork = part.workload(row_work);
+    obs.drainCycle.resize(obs.peWork.size());
+    for (std::size_t p = 0; p < obs.peWork.size(); ++p)
+        obs.drainCycle[p] = obs.peWork[p];  // drain time ~ workload
+    return obs;
+}
+
+} // namespace
+
+namespace {
+
+/** Remote switching in isolation: no local sharing, so the synthetic
+ *  drain observations (= raw per-PE loads) match the component's
+ *  contract (drainCycle is the post-sharing drain; with hops = 0 that is
+ *  just the load). */
+AccelConfig
+remoteOnlyConfig(int pes)
+{
+    AccelConfig cfg = makeConfig(Design::RemoteC, pes);
+    cfg.sharingHops = 0;
+    return cfg;
+}
+
+} // namespace
+
+TEST(RemoteSwitch, FirstSightingMeasuresOnly)
+{
+    AccelConfig cfg = remoteOnlyConfig(4);
+    RowPartition part(16, 4, RowMapPolicy::Blocked);
+    std::vector<Count> work(16, 1);
+    for (int r = 0; r < 4; ++r) work[static_cast<std::size_t>(r)] = 50;
+
+    RemoteSwitcher sw(cfg, 16);
+    int moved = sw.observeAndAdjust(observe(part, work), work, part);
+    EXPECT_EQ(moved, 0);  // Eq. 5: N_1 = 0
+    EXPECT_FALSE(sw.converged());
+}
+
+TEST(RemoteSwitch, SecondRoundMovesRows)
+{
+    AccelConfig cfg = remoteOnlyConfig(4);
+    RowPartition part(16, 4, RowMapPolicy::Blocked);
+    std::vector<Count> work(16, 1);
+    for (int r = 0; r < 4; ++r) work[static_cast<std::size_t>(r)] = 50;
+
+    RemoteSwitcher sw(cfg, 16);
+    sw.observeAndAdjust(observe(part, work), work, part);
+    int moved = sw.observeAndAdjust(observe(part, work), work, part);
+    EXPECT_GT(moved, 0);
+    EXPECT_TRUE(part.consistent());
+}
+
+TEST(RemoteSwitch, ConvergesOnSkewedWorkload)
+{
+    AccelConfig cfg = remoteOnlyConfig(8);
+    const Index rows = 64;
+    RowPartition part(rows, 8, RowMapPolicy::Blocked);
+    std::vector<Count> work(static_cast<std::size_t>(rows), 1);
+    // One heavy block of rows on PE 0 (local imbalance the switcher must
+    // spread), mild noise elsewhere.
+    for (int r = 0; r < 8; ++r) work[static_cast<std::size_t>(r)] = 20;
+
+    RemoteSwitcher sw(cfg, rows);
+    auto gap = [&]() {
+        auto w = part.workload(work);
+        return *std::max_element(w.begin(), w.end()) -
+               *std::min_element(w.begin(), w.end());
+    };
+    Count initial_gap = gap();
+    for (int round = 0; round < 30 && !sw.converged(); ++round)
+        sw.observeAndAdjust(observe(part, work), work, part);
+    EXPECT_TRUE(sw.converged());
+    EXPECT_LT(gap(), initial_gap / 2);
+    EXPECT_TRUE(part.consistent());
+}
+
+TEST(RemoteSwitch, BalancedInputConvergesImmediately)
+{
+    AccelConfig cfg = remoteOnlyConfig(4);
+    RowPartition part(16, 4, RowMapPolicy::Blocked);
+    std::vector<Count> work(16, 3);
+    RemoteSwitcher sw(cfg, 16);
+    EXPECT_EQ(sw.observeAndAdjust(observe(part, work), work, part), 0);
+    EXPECT_TRUE(sw.converged());
+    EXPECT_EQ(sw.convergedRound(), 1);
+}
+
+TEST(RemoteSwitch, ApproximateEq5AlsoConverges)
+{
+    AccelConfig cfg = remoteOnlyConfig(8);
+    cfg.approximateEq5 = true;
+    const Index rows = 64;
+    RowPartition part(rows, 8, RowMapPolicy::Blocked);
+    std::vector<Count> work(static_cast<std::size_t>(rows), 1);
+    for (int r = 0; r < 8; ++r) work[static_cast<std::size_t>(r)] = 20;
+
+    RemoteSwitcher sw(cfg, rows);
+    for (int round = 0; round < 40 && !sw.converged(); ++round)
+        sw.observeAndAdjust(observe(part, work), work, part);
+    EXPECT_TRUE(sw.converged());
+}

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Tests for the GCN reference model: both compute orders agree, shapes and
+ * activations are correct, and the op-count analysis reproduces the
+ * structure of the paper's Table 2 (XwFirst drastically cheaper).
+ */
+
+#include <gtest/gtest.h>
+
+#include "gcn/model.hpp"
+#include "gcn/ops_count.hpp"
+#include "gcn/reference.hpp"
+#include "graph/datasets.hpp"
+#include "graph/normalize.hpp"
+#include "sparse/convert.hpp"
+#include "sparse/spmm.hpp"
+
+using namespace awb;
+
+namespace {
+
+Dataset
+smallDataset(const char *name = "cora", double scale = 0.05,
+             std::uint64_t seed = 1)
+{
+    return loadSyntheticByName(name, seed, scale);
+}
+
+} // namespace
+
+TEST(GcnModel, WeightShapes)
+{
+    auto m = makeGcnModel(1433, 16, 7);
+    ASSERT_EQ(m.layers(), 2);
+    EXPECT_EQ(m.inDim(0), 1433);
+    EXPECT_EQ(m.outDim(0), 16);
+    EXPECT_EQ(m.inDim(1), 16);
+    EXPECT_EQ(m.outDim(1), 7);
+}
+
+TEST(GcnModel, GlorotScale)
+{
+    auto m = makeGcnModel(100, 50, 10, 3);
+    double limit = std::sqrt(6.0 / 150.0);
+    for (Value v : m.weights[0].data()) {
+        EXPECT_LE(std::abs(v), limit + 1e-6);
+    }
+    // Weights should be dense (Table 1: W density 100%).
+    EXPECT_GT(m.weights[0].density(), 0.999);
+}
+
+TEST(GcnModel, DeepChain)
+{
+    auto m = makeDeepGcnModel({64, 32, 32, 16, 8});
+    ASSERT_EQ(m.layers(), 4);
+    EXPECT_EQ(m.inDim(3), 16);
+    EXPECT_EQ(m.outDim(3), 8);
+}
+
+TEST(GcnModel, DeterministicPerSeed)
+{
+    auto a = makeGcnModel(10, 5, 2, 9);
+    auto b = makeGcnModel(10, 5, 2, 9);
+    EXPECT_EQ(a.weights[0].data(), b.weights[0].data());
+}
+
+TEST(Inference, OutputShape)
+{
+    auto ds = smallDataset();
+    auto m = makeGcnModel(ds.spec.f1, ds.spec.f2, ds.spec.f3);
+    auto res = inferGcn(ds, m);
+    EXPECT_EQ(res.output.rows(), ds.spec.nodes);
+    EXPECT_EQ(res.output.cols(), ds.spec.f3);
+    ASSERT_EQ(res.layerInputs.size(), 1u);
+    EXPECT_EQ(res.layerInputs[0].cols(), ds.spec.f2);
+}
+
+TEST(Inference, HiddenActivationsNonNegative)
+{
+    auto ds = smallDataset();
+    auto m = makeGcnModel(ds.spec.f1, ds.spec.f2, ds.spec.f3);
+    auto res = inferGcn(ds, m);
+    for (Value v : res.layerInputs[0].data()) EXPECT_GE(v, 0.0f);
+}
+
+TEST(Inference, BothOrdersAgree)
+{
+    auto ds = smallDataset("citeseer", 0.03);
+    auto m = makeGcnModel(ds.spec.f1, ds.spec.f2, ds.spec.f3);
+    auto xw = inferGcn(ds, m, ComputeOrder::XwFirst);
+    auto ax = inferGcn(ds, m, ComputeOrder::AxFirst);
+    EXPECT_LT(xw.output.maxAbsDiff(ax.output), 1e-3);
+}
+
+TEST(Inference, MatchesHandComputedTinyGcn)
+{
+    // 2 nodes, edge 0-1; f1=1, f2=1, single layer.
+    CooMatrix a(2, 2);
+    a.add(0, 1, 1.0f);
+    a.add(1, 0, 1.0f);
+    auto ahat = normalizeAdjacencyCsc(a);  // all entries 0.5
+
+    CooMatrix xc(2, 1);
+    xc.add(0, 0, 2.0f);
+    xc.add(1, 0, 4.0f);
+    auto x = CsrMatrix::fromCoo(xc);
+
+    GcnModel m;
+    m.weights.push_back(DenseMatrix(1, 1));
+    m.weights[0].at(0, 0) = 3.0f;
+
+    auto res = inferGcn(ahat, x, m);
+    // XW = [6; 12]; A_hat = [[.5,.5],[.5,.5]]; out = [9; 9].
+    EXPECT_NEAR(res.output.at(0, 0), 9.0f, 1e-5);
+    EXPECT_NEAR(res.output.at(1, 0), 9.0f, 1e-5);
+}
+
+TEST(Inference, DeeperNetworkRuns)
+{
+    auto ds = smallDataset("cora", 0.04);
+    auto m = makeDeepGcnModel({ds.spec.f1, 32, 16, ds.spec.f3});
+    auto res = inferGcn(ds, m);
+    EXPECT_EQ(res.output.cols(), ds.spec.f3);
+    EXPECT_EQ(res.layerInputs.size(), 2u);
+}
+
+TEST(OpsCount, XwFirstMuchCheaper)
+{
+    auto ds = smallDataset("cora", 0.2);
+    auto m = makeGcnModel(ds.spec.f1, ds.spec.f2, ds.spec.f3);
+    auto ops = countOps(ds, m);
+    ASSERT_EQ(ops.layer.size(), 2u);
+    // Table 2 structure: layer 1 AxFirst dominated by n*f1*f2 dense GEMM,
+    // orders of magnitude above XwFirst.
+    EXPECT_GT(ops.layer[0].axFirst, 10 * ops.layer[0].xwFirst);
+    EXPECT_EQ(ops.total.xwFirst,
+              ops.layer[0].xwFirst + ops.layer[1].xwFirst);
+}
+
+TEST(OpsCount, Layer1FormulaExact)
+{
+    auto ds = smallDataset("cora", 0.2);
+    auto m = makeGcnModel(ds.spec.f1, ds.spec.f2, ds.spec.f3);
+    auto ops = countOps(ds, m);
+    Count expect_xw =
+        ds.features.nnz() * ds.spec.f2 + ds.adjacency.nnz() * ds.spec.f2;
+    EXPECT_EQ(ops.layer[0].xwFirst, expect_xw);
+    // AxFirst includes the dense (AX) x W term n*f1*f2.
+    Count dense_term =
+        static_cast<Count>(ds.spec.nodes) * ds.spec.f1 * ds.spec.f2;
+    EXPECT_GT(ops.layer[0].axFirst, dense_term);
+}
+
+TEST(OpsCount, ProfileApproximatesExact)
+{
+    auto ds = smallDataset("pubmed", 0.1, 5);
+    auto m = makeGcnModel(ds.spec.f1, ds.spec.f2, ds.spec.f3);
+    auto exact = countOps(ds, m);
+    auto prof = countOpsProfile(loadProfile(findDataset("pubmed"), 5, 0.1));
+    // Layer 1 terms are structural (same formulas, same distributions).
+    double rel =
+        std::abs(static_cast<double>(exact.layer[0].xwFirst) -
+                 static_cast<double>(prof.layer[0].xwFirst)) /
+        static_cast<double>(exact.layer[0].xwFirst);
+    EXPECT_LT(rel, 0.15);
+}
+
+TEST(OpsCount, FullScaleTable2Shape)
+{
+    // Full-scale profile-based Table 2 rows: the paper reports Cora total
+    // 62.8M (AxFirst) vs 1.33M (XwFirst) — a ~47x gap. Require at least
+    // an order of magnitude with the synthetic data.
+    auto prof = loadProfile(findDataset("cora"), 1, 1.0);
+    auto ops = countOpsProfile(prof);
+    EXPECT_GT(ops.total.axFirst, 10 * ops.total.xwFirst);
+    // Layer-1 AxFirst should be ~ n*f1*f2 = 62.1M.
+    EXPECT_NEAR(static_cast<double>(ops.layer[0].axFirst), 62.1e6,
+                6e6);
+}

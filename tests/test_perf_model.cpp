@@ -1,0 +1,280 @@
+/**
+ * @file
+ * Tests for the round-level performance model: the water-filling bound,
+ * cross-validation against the cycle-accurate engine (the two fidelities
+ * must agree on cycles and utilization within tolerance), full-scale
+ * tractability, and the area/energy/platform models.
+ */
+
+#include <gtest/gtest.h>
+
+#include "accel/gcn_accel.hpp"
+#include "accel/perf_model.hpp"
+#include "accel/spmm_engine.hpp"
+#include "common/rng.hpp"
+#include "gcn/ops_count.hpp"
+#include "graph/datasets.hpp"
+#include "model/area_model.hpp"
+#include "model/energy_model.hpp"
+#include "model/platforms.hpp"
+#include "sparse/convert.hpp"
+
+using namespace awb;
+
+TEST(BalancedDrain, NoSharingIsMax)
+{
+    std::vector<Count> w = {10, 2, 2, 2};
+    EXPECT_EQ(PerfModel::balancedDrain(w, 0), 10);
+}
+
+TEST(BalancedDrain, FullSharingReachesMean)
+{
+    std::vector<Count> w = {16, 0, 0, 0};
+    // hops >= P-1: work can spread everywhere -> ceil(16/4) = 4.
+    EXPECT_EQ(PerfModel::balancedDrain(w, 3), 4);
+}
+
+TEST(BalancedDrain, OneHopSpreadsToNeighbours)
+{
+    std::vector<Count> w = {12, 0, 0, 0};
+    // PE0's work reaches PEs {0,1}: drain 6.
+    EXPECT_EQ(PerfModel::balancedDrain(w, 1), 6);
+    // Middle hotspot reaches three PEs: drain 4.
+    std::vector<Count> w2 = {0, 12, 0, 0};
+    EXPECT_EQ(PerfModel::balancedDrain(w2, 1), 4);
+}
+
+TEST(BalancedDrain, ClusterNeedsMoreHops)
+{
+    // Two adjacent hot PEs: 1 hop reaches 4 PEs -> 24/4 = 6;
+    // 2 hops reach 6 PEs -> 4.
+    std::vector<Count> w = {0, 0, 12, 12, 0, 0, 0, 0};
+    EXPECT_EQ(PerfModel::balancedDrain(w, 1), 6);
+    EXPECT_EQ(PerfModel::balancedDrain(w, 2), 4);
+}
+
+TEST(BalancedDrain, ServedConservesWork)
+{
+    std::vector<Count> w = {9, 1, 7, 0, 3, 3, 0, 5};
+    std::vector<Count> served;
+    Cycle t = PerfModel::balancedDrain(w, 1, &served);
+    Count total = 0;
+    for (Count s : served) {
+        total += s;
+        EXPECT_LE(s, t);
+    }
+    EXPECT_EQ(total, 28);
+}
+
+namespace {
+
+/** Results of running both fidelities on the same matrix. */
+struct FidelityPair
+{
+    SpmmStats cyc;
+    PerfSpmmResult prf;
+};
+
+FidelityPair
+runBoth(Design design, const char *dataset, double scale, int pes,
+        Index rounds)
+{
+    auto ds = loadSyntheticByName(dataset, 11, scale);
+    const auto &hop = ds.spec.hopOverride;
+    AccelConfig cfg = makeConfig(design, pes, hop > 0 ? hop : 1);
+
+    DenseMatrix b(ds.spec.nodes, rounds);
+    Rng rng(3);
+    b.fillUniform(rng, -1.0f, 1.0f);
+
+    FidelityPair out;
+    {
+        RowPartition part(ds.spec.nodes, pes, cfg.mapPolicy);
+        SpmmEngine(cfg).run(ds.adjacency, b, TdqKind::Tdq2OmegaCsc, part,
+                            out.cyc);
+    }
+    {
+        RowPartition part(ds.spec.nodes, pes, cfg.mapPolicy);
+        out.prf = PerfModel(cfg).runSpmm(ds.adjacency.rowNnz(), rounds,
+                                         part);
+    }
+    EXPECT_EQ(out.prf.tasks, out.cyc.tasks);
+    return out;
+}
+
+} // namespace
+
+/** Without rebalancing the two fidelities must agree tightly: the round
+ *  duration is just the slowest PE's drain plus fixed overheads. */
+class CrossValidateBaseline
+    : public ::testing::TestWithParam<std::tuple<const char *, double>>
+{};
+
+TEST_P(CrossValidateBaseline, ModelMatchesCycleEngine)
+{
+    auto [dataset, scale] = GetParam();
+    auto pair = runBoth(Design::Baseline, dataset, scale, 16, 8);
+    double ratio = static_cast<double>(pair.prf.cycles) /
+                   static_cast<double>(pair.cyc.cycles);
+    // 35% band: the round model cannot see stream-order effects — e.g.
+    // the +I diagonal of the normalized adjacency sends a run of
+    // consecutive columns' flits to the same PE (a slow hotspot wave),
+    // which costs the cycle engine extra queueing on diagonal-dominated
+    // matrices like Pubmed.
+    EXPECT_NEAR(ratio, 1.0, 0.35)
+        << dataset << ": cycle=" << pair.cyc.cycles
+        << " model=" << pair.prf.cycles;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Datasets, CrossValidateBaseline,
+    ::testing::Values(std::make_tuple("cora", 0.5),
+                      std::make_tuple("citeseer", 0.4),
+                      std::make_tuple("pubmed", 0.15),
+                      std::make_tuple("nell", 0.05)));
+
+/** With rebalancing the round model is the optimistic envelope (optimal
+ *  water-filling vs the engine's greedy online sharing; the paper itself
+ *  reports a 4-10% utilization loss to the auto-tuning phase). Validate
+ *  that it brackets the engine from below but stays within 2x, and that
+ *  both fidelities agree rebalancing beats the baseline. */
+class CrossValidateRebalanced
+    : public ::testing::TestWithParam<std::tuple<Design, const char *,
+                                                 double>>
+{};
+
+TEST_P(CrossValidateRebalanced, ModelIsTightLowerEnvelope)
+{
+    auto [design, dataset, scale] = GetParam();
+    auto base = runBoth(Design::Baseline, dataset, scale, 16, 8);
+    auto reb = runBoth(design, dataset, scale, 16, 8);
+
+    // Envelope: model <= engine <= 2x model.
+    EXPECT_LE(reb.prf.cycles, reb.cyc.cycles + 8);
+    EXPECT_LE(reb.cyc.cycles, 2 * reb.prf.cycles);
+    // Both fidelities: rebalancing does not lose to baseline (allow a
+    // 10% noise band in the engine: on near-balanced workloads diversion
+    // decisions on instantaneous queue depths add small jitter).
+    EXPECT_LE(reb.cyc.cycles,
+              static_cast<Cycle>(1.10 *
+                                 static_cast<double>(base.cyc.cycles)));
+    EXPECT_LE(reb.prf.cycles, base.prf.cycles);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, CrossValidateRebalanced,
+    ::testing::Combine(::testing::Values(Design::LocalA, Design::RemoteD),
+                       ::testing::Values("cora", "pubmed"),
+                       ::testing::Values(0.2)));
+
+TEST(PerfModel, RebalancingHelpsSkewAtScale)
+{
+    // Full-scale Nell profile: baseline utilization must collapse (the
+    // paper reports 13%) and Design(D) must recover most of it (77%).
+    auto prof = loadProfile(findDataset("nell"), 1, 1.0);
+    auto base = PerfModel(makeConfig(Design::Baseline, 1024)).runGcn(prof);
+    auto d = PerfModel(makeConfig(Design::RemoteD, 1024, 2)).runGcn(prof);
+
+    EXPECT_LT(base.utilization, 0.45);
+    EXPECT_GT(d.utilization, 2.0 * base.utilization);
+    EXPECT_LT(d.totalCycles, base.totalCycles / 2);
+}
+
+TEST(PerfModel, RedditAlreadyBalanced)
+{
+    auto prof = loadProfile(findDataset("reddit"), 1, 0.25);
+    auto base = PerfModel(makeConfig(Design::Baseline, 1024)).runGcn(prof);
+    auto d = PerfModel(makeConfig(Design::RemoteD, 1024)).runGcn(prof);
+    EXPECT_GT(base.utilization, 0.7);
+    double speedup = static_cast<double>(base.totalCycles) /
+                     static_cast<double>(d.totalCycles);
+    EXPECT_LT(speedup, 1.5);
+}
+
+TEST(PerfModel, FullScaleRedditRuns)
+{
+    auto prof = loadProfile(findDataset("reddit"), 1, 1.0);
+    auto res = PerfModel(makeConfig(Design::RemoteD, 1024)).runGcn(prof);
+    EXPECT_GT(res.totalTasks, Count(1000000000));  // ~6.6G per Table 2
+    EXPECT_GT(res.totalCycles, 0);
+    EXPECT_LE(res.utilization, 1.0);
+}
+
+TEST(PerfModel, PipelineNeverSlowerThanSerial)
+{
+    auto prof = loadProfile(findDataset("citeseer"), 2, 0.3);
+    auto res = PerfModel(makeConfig(Design::RemoteC, 64)).runGcn(prof);
+    EXPECT_LE(res.totalCycles, res.totalCyclesSerial);
+}
+
+TEST(AreaModel, TqDominatedByDepth)
+{
+    AccelConfig cfg = makeConfig(Design::Baseline, 64);
+    auto small = estimateArea(cfg, 64);
+    auto big = estimateArea(cfg, 65128);
+    EXPECT_GT(big.tqClb, 100.0 * small.tqClb);
+    EXPECT_DOUBLE_EQ(big.otherClb, small.otherClb);
+}
+
+TEST(AreaModel, RebalancingLogicOverheadSmall)
+{
+    auto base = estimateArea(makeConfig(Design::Baseline, 64), 100);
+    auto d = estimateArea(makeConfig(Design::RemoteD, 64), 100);
+    double frac = d.otherClb / base.otherClb;
+    EXPECT_NEAR(frac, 1.0 + 0.043 + 0.019, 1e-9);
+}
+
+TEST(AreaModel, NetAreaCanShrinkWithRebalancing)
+{
+    // Paper: rebalancing REDUCES total area because the TQ savings dwarf
+    // the logic overhead (Fig. 14 K-O).
+    auto base = estimateArea(makeConfig(Design::Baseline, 64), 65128);
+    auto d = estimateArea(makeConfig(Design::RemoteD, 64), 2675);
+    EXPECT_LT(d.totalClb, base.totalClb);
+}
+
+TEST(EnergyModel, LatencyFromCycles)
+{
+    auto rep = evaluateEnergy(275000, 1000, 275.0);
+    EXPECT_NEAR(rep.latencyMs, 1.0, 1e-9);
+    EXPECT_GT(rep.energyJ, 0.0);
+}
+
+TEST(EnergyModel, FasterIsMoreEfficient)
+{
+    auto slow = evaluateEnergy(10000000, 1000000, 275.0);
+    auto fast = evaluateEnergy(1000000, 1000000, 275.0);
+    EXPECT_GT(fast.inferencesPerKj, slow.inferencesPerKj);
+}
+
+TEST(EnergyModel, FixedPowerPlatform)
+{
+    auto rep = evaluateFixedPower(10.0, 100.0);  // 10 ms at 100 W = 1 J
+    EXPECT_NEAR(rep.energyJ, 1.0, 1e-12);
+    EXPECT_NEAR(rep.inferencesPerKj, 1000.0, 1e-9);
+}
+
+TEST(Platforms, CpuMeasurementSane)
+{
+    auto ds = loadSyntheticByName("cora", 1, 0.1);
+    auto model = makeGcnModel(ds.spec.f1, ds.spec.f2, ds.spec.f3);
+    double ms = measureCpuLatencyMs(ds, model, 3);
+    EXPECT_GT(ms, 0.0);
+    EXPECT_LT(ms, 10000.0);
+}
+
+TEST(Platforms, AnalyticOrdering)
+{
+    // CPU slower than GPU; both far slower than what the accelerator's
+    // cycle counts imply — the Table 3 ordering.
+    auto prof = loadProfile(findDataset("pubmed"), 1, 1.0);
+    auto ops = countOpsProfile(prof);
+    double cpu = modelCpuLatencyMs(ops);
+    double gpu = modelGpuLatencyMs(ops, 2);
+    EXPECT_GT(cpu, gpu);
+
+    auto accel = PerfModel(makeConfig(Design::RemoteD, 1024)).runGcn(prof);
+    double accel_ms =
+        evaluateEnergy(accel.totalCycles, accel.totalTasks, 275.0).latencyMs;
+    EXPECT_GT(gpu, accel_ms);
+}

@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Cross-module property tests (parameterized sweeps):
+ *  - Omega network conservation and routing over random traffic at every
+ *    supported width;
+ *  - degree samplers hit totals across exponents and caps;
+ *  - the cycle engine's functional exactness is insensitive to every
+ *    distribution-path knob (queue counts/depths, scan width, inject
+ *    width, network speedup/buffers, MAC latency);
+ *  - water-filling monotonicity and bounds;
+ *  - workload conservation under arbitrary remote-switching sequences.
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "accel/omega.hpp"
+#include "accel/perf_model.hpp"
+#include "accel/rebalance.hpp"
+#include "accel/spmm_engine.hpp"
+#include "common/rng.hpp"
+#include "graph/datasets.hpp"
+#include "graph/degree_dist.hpp"
+#include "sparse/convert.hpp"
+#include "sparse/spmm.hpp"
+
+using namespace awb;
+
+/** Omega: every flit injected under random traffic is delivered exactly
+ *  once at its destination, for every width/speedup combination. */
+class OmegaConservation
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{};
+
+TEST_P(OmegaConservation, DeliversEveryFlitOnce)
+{
+    auto [ports, speedup] = GetParam();
+    OmegaNetwork net(ports, 4, speedup);
+    Rng rng(static_cast<std::uint64_t>(ports * 131 + speedup));
+
+    const int n = 500;
+    std::vector<int> delivered(static_cast<std::size_t>(n), 0);
+    int sent = 0;
+    Count received = 0;
+    int cycles = 0;
+    while ((sent < n || !net.empty()) && cycles < 100000) {
+        ++cycles;
+        net.tick(cycles, [&](const Flit &f, int port) {
+            EXPECT_EQ(port, f.destPe);
+            ++delivered[static_cast<std::size_t>(f.task.row)];
+            ++received;
+            return true;
+        });
+        for (int s = 0; s < ports && sent < n; ++s) {
+            int d = rng.nextIndex(ports);
+            Flit f{Task{static_cast<Index>(sent), 1.0f, 1.0f, d}, d};
+            if (net.inject(f, s)) ++sent;
+        }
+    }
+    EXPECT_EQ(received, n);
+    for (int v : delivered) EXPECT_EQ(v, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, OmegaConservation,
+                         ::testing::Combine(::testing::Values(2, 4, 8, 32),
+                                            ::testing::Values(1, 2, 4)));
+
+/** Degree sampler: totals hit across exponents and caps. */
+class DegreeSweep
+    : public ::testing::TestWithParam<std::tuple<double, Count>>
+{};
+
+TEST_P(DegreeSweep, TotalWithinTolerance)
+{
+    auto [alpha, dmax] = GetParam();
+    Rng rng(99);
+    const Count target = 20000;
+    auto deg = samplePowerLawDegrees(rng, 4000, alpha, 1, dmax, target);
+    Count total = std::accumulate(deg.begin(), deg.end(), Count(0));
+    EXPECT_NEAR(static_cast<double>(total), static_cast<double>(target),
+                0.02 * static_cast<double>(target));
+    for (Count d : deg) {
+        EXPECT_GE(d, 0);
+        EXPECT_LE(d, dmax);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Params, DegreeSweep,
+    ::testing::Combine(::testing::Values(1.6, 2.1, 2.8),
+                       ::testing::Values(Count(50), Count(400))));
+
+/** Engine exactness across every distribution-path knob. */
+struct KnobCase
+{
+    const char *name;
+    void (*apply)(AccelConfig &);
+};
+
+class EngineKnobs : public ::testing::TestWithParam<int> {};
+
+TEST_P(EngineKnobs, FunctionalUnderAllKnobs)
+{
+    static const KnobCase cases[] = {
+        {"oneQueue", [](AccelConfig &c) { c.numQueuesPerPe = 1; }},
+        {"eightQueues", [](AccelConfig &c) { c.numQueuesPerPe = 8; }},
+        {"tinyQueues", [](AccelConfig &c) { c.queueDepth = 1; }},
+        {"deepMac", [](AccelConfig &c) { c.macLatency = 7; }},
+        {"slowScan", [](AccelConfig &c) { c.streamWidth = 3; }},
+        {"slowInject", [](AccelConfig &c) { c.injectWidth = 2; }},
+        {"slowFabric", [](AccelConfig &c) {
+             c.networkSpeedup = 1;
+             c.omegaBufferDepth = 1;
+         }},
+        {"onePort", [](AccelConfig &c) { c.receivePorts = 1; }},
+        {"cyclicMap", [](AccelConfig &c) {
+             c.mapPolicy = RowMapPolicy::Cyclic;
+         }},
+    };
+    const KnobCase &kc = cases[static_cast<std::size_t>(GetParam())];
+
+    Rng rng(55);
+    CooMatrix coo(60, 60);
+    for (Index i = 0; i < 60; ++i)
+        for (Index j = 0; j < 60; ++j)
+            if (rng.nextBool(0.12)) coo.add(i, j, rng.nextFloat(-1, 1));
+    coo.canonicalize();
+    auto a = CscMatrix::fromCoo(coo);
+    DenseMatrix b(60, 5);
+    b.fillUniform(rng, -1.0f, 1.0f);
+    auto golden = spmmCsc(a, b);
+
+    for (TdqKind kind :
+         {TdqKind::Tdq1DenseScan, TdqKind::Tdq2OmegaCsc}) {
+        AccelConfig cfg = makeConfig(Design::RemoteD, 8);
+        kc.apply(cfg);
+        RowPartition part(60, 8, cfg.mapPolicy);
+        SpmmStats stats;
+        auto c = SpmmEngine(cfg).run(a, b, kind, part, stats);
+        EXPECT_LT(golden.maxAbsDiff(c), 1e-4)
+            << kc.name << " kind=" << static_cast<int>(kind);
+        EXPECT_EQ(stats.tasks, a.nnz() * 5) << kc.name;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKnobs, EngineKnobs, ::testing::Range(0, 9));
+
+TEST(WaterFill, MonotoneInHops)
+{
+    Rng rng(77);
+    std::vector<Count> w(64);
+    for (auto &v : w) v = rng.nextIndex(100);
+    Cycle prev = PerfModel::balancedDrain(w, 0);
+    for (int h = 1; h <= 8; ++h) {
+        Cycle d = PerfModel::balancedDrain(w, h);
+        EXPECT_LE(d, prev) << "hops=" << h;
+        prev = d;
+    }
+    // Never below the perfect-balance floor.
+    Count total = std::accumulate(w.begin(), w.end(), Count(0));
+    EXPECT_GE(prev, (total + 63) / 64);
+}
+
+TEST(WaterFill, FullWindowReachesPerfectBalance)
+{
+    std::vector<Count> w = {100, 0, 0, 0, 0, 0, 0, 0};
+    EXPECT_EQ(PerfModel::balancedDrain(w, 7), 13);  // ceil(100/8)
+}
+
+TEST(RemoteSwitchProperty, WorkloadConservedUnderAnySequence)
+{
+    Rng rng(88);
+    const Index rows = 200;
+    const int pes = 16;
+    std::vector<Count> work(static_cast<std::size_t>(rows));
+    for (auto &v : work) v = rng.nextIndex(40);
+    Count total = std::accumulate(work.begin(), work.end(), Count(0));
+
+    AccelConfig cfg = makeConfig(Design::RemoteC, pes);
+    cfg.sharingHops = 0;
+    RowPartition part(rows, pes, cfg.mapPolicy);
+    RemoteSwitcher sw(cfg, rows);
+
+    for (int round = 0; round < 40; ++round) {
+        RoundObservation obs;
+        obs.peWork = part.workload(work);
+        obs.drainCycle.assign(obs.peWork.begin(), obs.peWork.end());
+        sw.observeAndAdjust(obs, work, part);
+
+        ASSERT_TRUE(part.consistent());
+        auto pw = part.workload(work);
+        EXPECT_EQ(std::accumulate(pw.begin(), pw.end(), Count(0)), total);
+    }
+}
+
+TEST(RemoteSwitchProperty, NeverIncreasesMaxLoadAfterConvergence)
+{
+    Rng rng(89);
+    const Index rows = 128;
+    const int pes = 8;
+    std::vector<Count> work(static_cast<std::size_t>(rows), 1);
+    for (int i = 0; i < 12; ++i)
+        work[static_cast<std::size_t>(rng.nextIndex(rows))] = 30;
+
+    AccelConfig cfg = makeConfig(Design::RemoteC, pes);
+    cfg.sharingHops = 0;
+    RowPartition part(rows, pes, cfg.mapPolicy);
+    RemoteSwitcher sw(cfg, rows);
+
+    auto max_load = [&]() {
+        auto pw = part.workload(work);
+        return *std::max_element(pw.begin(), pw.end());
+    };
+    Count initial = max_load();
+    for (int round = 0; round < 50 && !sw.converged(); ++round) {
+        RoundObservation obs;
+        obs.peWork = part.workload(work);
+        obs.drainCycle.assign(obs.peWork.begin(), obs.peWork.end());
+        sw.observeAndAdjust(obs, work, part);
+    }
+    EXPECT_LE(max_load(), initial);
+}
+
+TEST(ProfileVsDataset, WorkloadTotalsAgreeAcrossScales)
+{
+    for (double scale : {0.1, 0.3}) {
+        auto ds = loadSyntheticByName("citeseer", 21, scale);
+        auto prof = loadProfile(findDataset("citeseer"), 21, scale);
+        Count ds_nnz = ds.adjacency.nnz();
+        Count prof_nnz = std::accumulate(prof.aRowNnz.begin(),
+                                         prof.aRowNnz.end(), Count(0));
+        EXPECT_NEAR(static_cast<double>(prof_nnz),
+                    static_cast<double>(ds_nnz),
+                    0.05 * static_cast<double>(ds_nnz))
+            << "scale=" << scale;
+    }
+}

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Tests for the simulation kernel (FIFO, engine) and the Omega network:
+ * full src/dest delivery coverage, in-order per-path delivery, contention
+ * backpressure, and buffer-occupancy accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "accel/omega.hpp"
+#include "sim/engine.hpp"
+#include "sim/fifo.hpp"
+
+using namespace awb;
+
+TEST(Fifo, FifoOrder)
+{
+    Fifo<int> q;
+    q.push(1);
+    q.push(2);
+    q.push(3);
+    EXPECT_EQ(q.pop(), 1);
+    EXPECT_EQ(q.pop(), 2);
+    EXPECT_EQ(q.pop(), 3);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(Fifo, CapacityEnforced)
+{
+    Fifo<int> q(2);
+    EXPECT_TRUE(q.push(1));
+    EXPECT_TRUE(q.push(2));
+    EXPECT_TRUE(q.full());
+    EXPECT_FALSE(q.push(3));
+    q.pop();
+    EXPECT_TRUE(q.push(3));
+}
+
+TEST(Fifo, UnboundedTracksPeak)
+{
+    Fifo<int> q;  // capacity 0 == unbounded
+    for (int i = 0; i < 100; ++i) q.push(i);
+    for (int i = 0; i < 60; ++i) q.pop();
+    for (int i = 0; i < 10; ++i) q.push(i);
+    EXPECT_EQ(q.peakOccupancy(), 100u);
+    EXPECT_EQ(q.totalPushes(), 110);
+}
+
+namespace {
+
+/** Component that counts down and goes quiescent. */
+class Countdown : public Component
+{
+  public:
+    explicit Countdown(int n) : Component("countdown"), left_(n) {}
+    void tick(Cycle) override { if (left_ > 0) --left_; }
+    bool quiescent() const override { return left_ == 0; }
+
+  private:
+    int left_;
+};
+
+} // namespace
+
+TEST(Engine, RunsUntilQuiescent)
+{
+    Engine e;
+    Countdown c(10);
+    e.add(&c);
+    EXPECT_EQ(e.run(1000), 10);
+}
+
+TEST(Engine, RespectsMaxCycles)
+{
+    Engine e;
+    Countdown c(100);
+    e.add(&c);
+    EXPECT_EQ(e.run(7), 7);
+}
+
+namespace {
+
+/** Drain everything currently in the network into `out`. */
+void
+drainAll(OmegaNetwork &net, std::vector<Flit> &out, int max_cycles = 1000)
+{
+    int cycles = 0;
+    while (!net.empty() && cycles++ < max_cycles) {
+        net.tick(cycles, [&](const Flit &f, int port) {
+            EXPECT_EQ(port, f.destPe);
+            out.push_back(f);
+            return true;
+        });
+    }
+}
+
+} // namespace
+
+TEST(Omega, AllSrcDestPairsRoute)
+{
+    // Routing invariant: every (src, dest) pair must end at dest.
+    for (int ports : {2, 4, 8, 16}) {
+        OmegaNetwork net(ports, 4);
+        for (int s = 0; s < ports; ++s) {
+            for (int d = 0; d < ports; ++d) {
+                Flit f{Task{static_cast<Index>(d), 1.0f, 1.0f, d}, d};
+                ASSERT_TRUE(net.inject(f, s));
+                std::vector<Flit> out;
+                drainAll(net, out);
+                ASSERT_EQ(out.size(), 1u) << "ports=" << ports
+                                          << " s=" << s << " d=" << d;
+                EXPECT_EQ(out[0].destPe, d);
+            }
+        }
+    }
+}
+
+TEST(Omega, DeliveryLatencyIsStageCount)
+{
+    OmegaNetwork net(8, 4);  // 3 stages
+    Flit f{Task{0, 1.0f, 1.0f, 5}, 5};
+    ASSERT_TRUE(net.inject(f, 0));
+    int cycles = 0;
+    bool delivered = false;
+    while (!delivered && cycles < 100) {
+        ++cycles;
+        net.tick(cycles, [&](const Flit &, int) {
+            delivered = true;
+            return true;
+        });
+    }
+    EXPECT_EQ(cycles, 3);
+}
+
+TEST(Omega, ContentionSerializesSameDestination)
+{
+    // P flits all to PE 0: the final output port delivers 1 per cycle, so
+    // draining takes at least P cycles.
+    const int P = 8;
+    OmegaNetwork net(P, 8, /*speedup=*/1);
+    for (int s = 0; s < P; ++s) {
+        Flit f{Task{0, 1.0f, 1.0f, 0}, 0};
+        ASSERT_TRUE(net.inject(f, s));
+    }
+    std::vector<Flit> out;
+    int cycles = 0;
+    while (!net.empty() && cycles < 1000) {
+        ++cycles;
+        net.tick(cycles, [&](const Flit &f, int) {
+            out.push_back(f);
+            return true;
+        });
+    }
+    EXPECT_EQ(out.size(), 8u);
+    EXPECT_GE(cycles, 8);
+    EXPECT_GT(net.blockedMoves(), 0);
+}
+
+TEST(Omega, BackpressureWhenSinkRejects)
+{
+    OmegaNetwork net(4, 2);
+    Flit f{Task{2, 1.0f, 1.0f, 2}, 2};
+    ASSERT_TRUE(net.inject(f, 0));
+    // Sink always rejects: flit must stay in the fabric.
+    for (int i = 0; i < 10; ++i)
+        net.tick(i, [](const Flit &, int) { return false; });
+    EXPECT_FALSE(net.empty());
+    // Now accept.
+    std::vector<Flit> out;
+    drainAll(net, out);
+    ASSERT_EQ(out.size(), 1u);
+}
+
+TEST(Omega, EntryBufferFillsUnderInjectionPressure)
+{
+    OmegaNetwork net(4, 1);
+    Flit f{Task{1, 1.0f, 1.0f, 1}, 1};
+    EXPECT_TRUE(net.inject(f, 0));
+    // Same entry path, buffer depth 1 -> second inject fails.
+    EXPECT_FALSE(net.inject(f, 0));
+}
+
+TEST(Omega, ThroughputUnderUniformTraffic)
+{
+    // With uniformly spread destinations the network should sustain close
+    // to 1 flit/port/cycle; 256 flits over 8 ports in well under 96
+    // cycles.
+    const int P = 8;
+    OmegaNetwork net(P, 4);
+    int sent = 0, received = 0, cycles = 0;
+    while (received < 256 && cycles < 500) {
+        ++cycles;
+        net.tick(cycles, [&](const Flit &, int) {
+            ++received;
+            return true;
+        });
+        for (int s = 0; s < P && sent < 256; ++s) {
+            Flit f{Task{static_cast<Index>(sent % P), 1.0f, 1.0f,
+                        sent % P},
+                   sent % P};
+            if (net.inject(f, s)) ++sent;
+        }
+    }
+    EXPECT_EQ(received, 256);
+    EXPECT_LT(cycles, 96);
+    EXPECT_GE(net.peakBufferDepth(), 1u);
+}

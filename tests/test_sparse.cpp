@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Unit + property tests for the sparse matrix library: format invariants,
+ * conversions round-trip, and all SpMM kernels agree with dense GEMM.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/rng.hpp"
+#include "sparse/convert.hpp"
+#include "sparse/mm_io.hpp"
+#include "sparse/spmm.hpp"
+
+using namespace awb;
+
+namespace {
+
+/** Random sparse COO with the given density. */
+CooMatrix
+randomCoo(Rng &rng, Index rows, Index cols, double density)
+{
+    CooMatrix m(rows, cols);
+    for (Index i = 0; i < rows; ++i)
+        for (Index j = 0; j < cols; ++j)
+            if (rng.nextBool(density))
+                m.add(i, j, rng.nextFloat(-1.0f, 1.0f));
+    m.canonicalize();
+    return m;
+}
+
+DenseMatrix
+randomDense(Rng &rng, Index rows, Index cols)
+{
+    DenseMatrix m(rows, cols);
+    m.fillUniform(rng, -1.0f, 1.0f);
+    return m;
+}
+
+} // namespace
+
+TEST(Coo, CanonicalizeMergesDuplicates)
+{
+    CooMatrix m(3, 3);
+    m.add(1, 2, 1.5f);
+    m.add(1, 2, 2.5f);
+    m.add(0, 0, 1.0f);
+    m.canonicalize();
+    EXPECT_EQ(m.nnz(), 2);
+    EXPECT_EQ(m.entries()[0].row, 0);
+    EXPECT_FLOAT_EQ(m.entries()[1].val, 4.0f);
+}
+
+TEST(Coo, CanonicalizeDropsCancellation)
+{
+    CooMatrix m(2, 2);
+    m.add(0, 1, 3.0f);
+    m.add(0, 1, -3.0f);
+    m.canonicalize();
+    EXPECT_EQ(m.nnz(), 0);
+}
+
+TEST(Coo, DensityComputation)
+{
+    CooMatrix m(10, 10);
+    m.add(0, 0, 1.0f);
+    m.add(5, 5, 1.0f);
+    EXPECT_DOUBLE_EQ(m.density(), 0.02);
+}
+
+TEST(Csc, FromCooValid)
+{
+    Rng rng(1);
+    auto coo = randomCoo(rng, 20, 30, 0.1);
+    auto csc = CscMatrix::fromCoo(coo);
+    EXPECT_TRUE(csc.valid());
+    EXPECT_EQ(csc.nnz(), coo.nnz());
+}
+
+TEST(Csc, PaperFigure4Example)
+{
+    // The 5x5 example of Figure 4 in the paper.
+    DenseMatrix d(5, 5);
+    d.at(0, 0) = 1; d.at(3, 0) = 3;
+    d.at(1, 1) = 6; d.at(4, 1) = 5;
+    d.at(0, 2) = 9;
+    d.at(1, 3) = 2; d.at(4, 3) = 3;
+    d.at(2, 4) = 7;
+    auto csc = denseToCsc(d);
+    std::vector<Count> expect_ptr = {0, 2, 4, 5, 7, 8};
+    std::vector<Index> expect_row = {0, 3, 1, 4, 0, 1, 4, 2};
+    std::vector<Value> expect_val = {1, 3, 6, 5, 9, 2, 3, 7};
+    EXPECT_EQ(csc.colPtr(), expect_ptr);
+    EXPECT_EQ(csc.rowId(), expect_row);
+    EXPECT_EQ(csc.val(), expect_val);
+}
+
+TEST(Csc, RowNnzMatchesDense)
+{
+    Rng rng(2);
+    auto coo = randomCoo(rng, 15, 15, 0.2);
+    auto csc = CscMatrix::fromCoo(coo);
+    auto d = cooToDense(coo);
+    auto counts = csc.rowNnz();
+    for (Index i = 0; i < 15; ++i) {
+        Count expect = 0;
+        for (Index j = 0; j < 15; ++j)
+            if (d.at(i, j) != 0.0f) ++expect;
+        EXPECT_EQ(counts[static_cast<std::size_t>(i)], expect);
+    }
+}
+
+TEST(Csr, FromCooValid)
+{
+    Rng rng(3);
+    auto coo = randomCoo(rng, 25, 18, 0.15);
+    auto csr = CsrMatrix::fromCoo(coo);
+    EXPECT_TRUE(csr.valid());
+    EXPECT_EQ(csr.nnz(), coo.nnz());
+}
+
+TEST(Convert, CsrCscRoundTrip)
+{
+    Rng rng(4);
+    auto coo = randomCoo(rng, 12, 17, 0.3);
+    auto csr = CsrMatrix::fromCoo(coo);
+    auto csc = csrToCsc(csr);
+    auto back = cscToCsr(csc);
+    EXPECT_EQ(back.rowPtr(), csr.rowPtr());
+    EXPECT_EQ(back.colId(), csr.colId());
+    EXPECT_EQ(back.val(), csr.val());
+}
+
+TEST(Convert, DenseRoundTrip)
+{
+    Rng rng(5);
+    auto coo = randomCoo(rng, 9, 7, 0.4);
+    auto d1 = cooToDense(coo);
+    auto d2 = cscToDense(denseToCsc(d1));
+    auto d3 = csrToDense(denseToCsr(d1));
+    EXPECT_DOUBLE_EQ(d1.maxAbsDiff(d2), 0.0);
+    EXPECT_DOUBLE_EQ(d1.maxAbsDiff(d3), 0.0);
+}
+
+TEST(Dense, ReluClampsNegatives)
+{
+    DenseMatrix m(2, 2);
+    m.at(0, 0) = -1.0f;
+    m.at(0, 1) = 2.0f;
+    m.relu();
+    EXPECT_FLOAT_EQ(m.at(0, 0), 0.0f);
+    EXPECT_FLOAT_EQ(m.at(0, 1), 2.0f);
+}
+
+TEST(Dense, FillSparseDensity)
+{
+    Rng rng(6);
+    DenseMatrix m(200, 200);
+    m.fillSparse(rng, 0.1, -1.0f, 1.0f);
+    EXPECT_NEAR(m.density(), 0.1, 0.01);
+}
+
+/** Property: every SpMM kernel equals dense GEMM on random inputs. */
+class SpmmProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SpmmProperty, KernelsAgreeWithDenseGemm)
+{
+    Rng rng(static_cast<std::uint64_t>(GetParam()));
+    Index m = 5 + rng.nextIndex(40);
+    Index n = 5 + rng.nextIndex(40);
+    Index k = 1 + rng.nextIndex(20);
+    double density = 0.02 + rng.nextDouble() * 0.5;
+
+    auto coo = randomCoo(rng, m, n, density);
+    auto a_dense = cooToDense(coo);
+    auto b = randomDense(rng, n, k);
+
+    auto golden = multiply(a_dense, b);
+    auto via_csc = spmmCsc(CscMatrix::fromCoo(coo), b);
+    auto via_csr = spmmCsr(CsrMatrix::fromCoo(coo), b);
+    auto via_dense = spmmDenseStored(a_dense, b);
+
+    EXPECT_LT(golden.maxAbsDiff(via_csc), 1e-4);
+    EXPECT_LT(golden.maxAbsDiff(via_csr), 1e-4);
+    EXPECT_LT(golden.maxAbsDiff(via_dense), 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomMatrices, SpmmProperty,
+                         ::testing::Range(0, 20));
+
+TEST(Spmm, MultCountCsc)
+{
+    Rng rng(7);
+    auto coo = randomCoo(rng, 30, 30, 0.1);
+    auto csc = CscMatrix::fromCoo(coo);
+    DenseMatrix b(30, 4);
+    EXPECT_EQ(spmmMultCount(csc, b), csc.nnz() * 4);
+}
+
+TEST(MmIo, RoundTrip)
+{
+    Rng rng(8);
+    auto coo = randomCoo(rng, 10, 12, 0.25);
+    std::stringstream ss;
+    writeMatrixMarket(ss, coo);
+    auto back = readMatrixMarket(ss);
+    EXPECT_EQ(back.rows(), coo.rows());
+    EXPECT_EQ(back.cols(), coo.cols());
+    EXPECT_EQ(back.nnz(), coo.nnz());
+    EXPECT_LT(cooToDense(back).maxAbsDiff(cooToDense(coo)), 1e-5);
+}
+
+TEST(MmIo, ParsesPatternSymmetric)
+{
+    std::stringstream ss;
+    ss << "%%MatrixMarket matrix coordinate pattern symmetric\n"
+       << "% comment line\n"
+       << "3 3 2\n"
+       << "2 1\n"
+       << "3 3\n";
+    auto m = readMatrixMarket(ss);
+    EXPECT_EQ(m.rows(), 3);
+    // (2,1) mirrored to (1,2); diagonal (3,3) not duplicated.
+    EXPECT_EQ(m.nnz(), 3);
+    auto d = cooToDense(m);
+    EXPECT_FLOAT_EQ(d.at(1, 0), 1.0f);
+    EXPECT_FLOAT_EQ(d.at(0, 1), 1.0f);
+    EXPECT_FLOAT_EQ(d.at(2, 2), 1.0f);
+}
