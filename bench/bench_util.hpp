@@ -1,18 +1,17 @@
 /**
  * @file
- * Shared helpers for the paper-reproduction bench harnesses: dataset and
- * design iteration, common formatting, and a banner printer so every
- * bench's output is self-describing in bench_output.txt.
+ * Shared helpers for the paper-reproduction scenarios: design iteration
+ * order and per-dataset constants. Banners, argument parsing, seeding and
+ * repeat logic live in the driver (src/driver/scenario.hpp).
  */
 
 #pragma once
 
-#include <cstdio>
+#include <cctype>
 #include <string>
 #include <vector>
 
 #include "accel/config.hpp"
-#include "common/table.hpp"
 #include "graph/datasets.hpp"
 
 namespace awb::bench {
@@ -22,22 +21,6 @@ inline const std::vector<Design> kFig14Designs = {
     Design::Baseline, Design::LocalA, Design::LocalB, Design::RemoteC,
     Design::RemoteD,
 };
-
-/** Banner so concatenated bench logs stay readable. */
-inline void
-banner(const std::string &experiment, const std::string &what)
-{
-    std::printf("\n==============================================================\n");
-    std::printf("%s — %s\n", experiment.c_str(), what.c_str());
-    std::printf("==============================================================\n");
-}
-
-/** Hop base per dataset (Nell overrides to 2/3-hop, paper §5.2). */
-inline int
-hopBase(const DatasetSpec &spec)
-{
-    return spec.hopOverride > 0 ? spec.hopOverride : 1;
-}
 
 /** Uppercase dataset label as the paper prints it. */
 inline std::string

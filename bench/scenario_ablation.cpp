@@ -19,6 +19,7 @@
 #include "bench_util.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
+#include "driver/scenario.hpp"
 
 using namespace awb;
 
@@ -30,15 +31,11 @@ runModel(const WorkloadProfile &prof, AccelConfig cfg)
     return PerfModel(cfg).runGcn(prof);
 }
 
-} // namespace
-
-int
-main()
+void
+runAblation(driver::ScenarioContext &ctx)
 {
-    bench::banner("Ablation", "design-choice sensitivity studies");
-
-    auto nell = loadProfile(findDataset("nell"), 1, 1.0);
-    auto cora = loadProfile(findDataset("cora"), 1, 1.0);
+    auto nell = loadProfile(findDataset("nell"), ctx.seed, 1.0);
+    auto cora = loadProfile(findDataset("cora"), ctx.seed, 1.0);
 
     {
         std::printf("\n1. Eq. 5: exact vs shift-approximate increment "
@@ -47,7 +44,7 @@ main()
         for (const auto *p : {&cora, &nell}) {
             for (bool approx : {false, true}) {
                 AccelConfig cfg = makeConfig(Design::RemoteD, 1024,
-                                             bench::hopBase(p->spec));
+                                             hopBase(p->spec));
                 cfg.approximateEq5 = approx;
                 auto res = runModel(*p, cfg);
                 Count switched = 0;
@@ -68,7 +65,7 @@ main()
         Table t({"window", "cycles", "util"});
         for (int w : {1, 2, 4, 8}) {
             AccelConfig cfg =
-                makeConfig(Design::RemoteD, 1024, bench::hopBase(nell.spec));
+                makeConfig(Design::RemoteD, 1024, hopBase(nell.spec));
             cfg.trackingWindow = w;
             auto res = runModel(nell, cfg);
             t.addRow({std::to_string(w),
@@ -103,7 +100,7 @@ main()
     {
         std::printf("\n4. Omega fabric provisioning (cycle-accurate, CORA "
                     "scale 0.3, 32 PEs, Design B):\n");
-        auto ds = loadSyntheticByName("cora", 5, 0.3);
+        auto ds = loadSyntheticByName("cora", ctx.seed + 4, 0.3 * ctx.scale);
         Rng rng(9);
         DenseMatrix b(ds.spec.nodes, 8);
         b.fillUniform(rng, -1.0f, 1.0f);
@@ -127,5 +124,10 @@ main()
                     "PEs regardless of workload balance — the paper's design\n"
                     "premise is a distribution path that keeps PEs fed.\n");
     }
-    return 0;
 }
+
+const driver::ScenarioRegistrar reg({
+    "ablation", "DESIGN.md §7",
+    "design-choice sensitivity studies", runAblation});
+
+} // namespace

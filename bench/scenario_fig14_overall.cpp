@@ -19,15 +19,15 @@
 #include "accel/perf_model.hpp"
 #include "bench_util.hpp"
 #include "common/table.hpp"
+#include "driver/scenario.hpp"
 
 using namespace awb;
 
-int
-main()
-{
-    bench::banner("Figure 14 A-E",
-                  "overall delay and PE utilization per design (512 PEs)");
+namespace {
 
+void
+runFig14Overall(driver::ScenarioContext &ctx)
+{
     // Paper-reported overall PE utilizations (percent) for shape checks:
     // {baseline, local-1, local-2, local-1+remote, local-2+remote}.
     const std::map<std::string, std::array<int, 5>> paper_util = {
@@ -39,19 +39,25 @@ main()
     };
 
     for (const auto &spec : paperDatasets()) {
-        auto prof = loadProfile(spec, 1, 1.0);
+        auto prof = loadProfile(spec, ctx.seed, ctx.scale);
         std::printf("\n%s (%d nodes, hop base %d):\n",
                     bench::datasetLabel(spec).c_str(), spec.nodes,
-                    bench::hopBase(spec));
+                    hopBase(spec));
         Table t({"design", "L1 cycles", "L2 cycles", "total", "speedup",
                  "util (meas)", "util (paper)"});
         Cycle base_total = 0;
         const auto &paper = paper_util.at(spec.name);
+        driver::Json ds_json = driver::Json::object();
         for (std::size_t d = 0; d < bench::kFig14Designs.size(); ++d) {
             AccelConfig cfg = makeConfig(bench::kFig14Designs[d], 512,
-                                         bench::hopBase(spec));
+                                         hopBase(spec));
             auto res = PerfModel(cfg).runGcn(prof);
             if (d == 0) base_total = res.totalCycles;
+            driver::Json dj = driver::Json::object();
+            dj.set("cycles", res.totalCycles);
+            dj.set("utilization", res.utilization);
+            dj.set("paper_utilization", paper[d] / 100.0);
+            ds_json.set(designName(bench::kFig14Designs[d]), std::move(dj));
             t.addRow({designName(bench::kFig14Designs[d]),
                       humanCount(static_cast<double>(
                           res.layers[0].pipelinedCycles)),
@@ -63,6 +69,7 @@ main()
                       percent(res.utilization),
                       std::to_string(paper[d]) + "%"});
         }
+        ctx.result.set(spec.name, std::move(ds_json));
         std::printf("%s", t.render().c_str());
     }
     std::printf(
@@ -70,5 +77,11 @@ main()
         "is mild where the baseline is already balanced (REDDIT), large on\n"
         "power-law graphs (CORA/CITESEER/PUBMED), and extreme on the\n"
         "clustered NELL; Design(D) is never slower than Design(A).\n");
-    return 0;
 }
+
+const driver::ScenarioRegistrar reg({
+    "fig14-overall", "Figure 14 A-E",
+    "overall delay and PE utilization per design (512 PEs)",
+    runFig14Overall});
+
+} // namespace

@@ -13,24 +13,24 @@
 #include "accel/perf_model.hpp"
 #include "bench_util.hpp"
 #include "common/table.hpp"
+#include "driver/scenario.hpp"
 #include "model/area_model.hpp"
 
 using namespace awb;
 
-int
-main()
-{
-    bench::banner("Figure 14 K-O",
-                  "hardware resources (CLB-equivalents, 512 PEs)");
+namespace {
 
+void
+runFig14Resources(driver::ScenarioContext &ctx)
+{
     for (const auto &spec : paperDatasets()) {
-        auto prof = loadProfile(spec, 1, 1.0);
+        auto prof = loadProfile(spec, ctx.seed, ctx.scale);
         std::printf("\n%s:\n", bench::datasetLabel(spec).c_str());
         Table t({"design", "peak TQ depth", "TQ CLB", "other CLB",
                  "total CLB", "vs baseline"});
         double base_total = 0.0;
         for (Design d : bench::kFig14Designs) {
-            AccelConfig cfg = makeConfig(d, 512, bench::hopBase(spec));
+            AccelConfig cfg = makeConfig(d, 512, hopBase(spec));
             auto res = PerfModel(cfg).runGcn(prof);
             std::size_t depth = 0;
             for (const auto &layer : res.layers) {
@@ -51,5 +51,10 @@ main()
         "(NELL most of all) while the added logic costs only 2.7%%/4.3%%/1.9%%\n"
         "(1-hop/2-hop/remote), so total area goes DOWN versus the baseline\n"
         "on the imbalanced datasets.\n");
-    return 0;
 }
+
+const driver::ScenarioRegistrar reg({
+    "fig14-resources", "Figure 14 K-O",
+    "hardware resources (CLB-equivalents, 512 PEs)", runFig14Resources});
+
+} // namespace

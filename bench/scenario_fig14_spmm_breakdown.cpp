@@ -11,21 +11,21 @@
 #include "accel/perf_model.hpp"
 #include "bench_util.hpp"
 #include "common/table.hpp"
+#include "driver/scenario.hpp"
 
 using namespace awb;
 
-int
-main()
-{
-    bench::banner("Figure 14 F-J",
-                  "per-SPMM ideal vs sync cycles per design (512 PEs)");
+namespace {
 
+void
+runFig14Spmm(driver::ScenarioContext &ctx)
+{
     for (const auto &spec : paperDatasets()) {
-        auto prof = loadProfile(spec, 1, 1.0);
+        auto prof = loadProfile(spec, ctx.seed, ctx.scale);
         std::printf("\n%s:\n", bench::datasetLabel(spec).c_str());
         Table t({"design", "SPMM", "ideal", "sync", "total", "util"});
         for (Design d : bench::kFig14Designs) {
-            AccelConfig cfg = makeConfig(d, 512, bench::hopBase(spec));
+            AccelConfig cfg = makeConfig(d, 512, hopBase(spec));
             auto res = PerfModel(cfg).runGcn(prof);
             const struct
             {
@@ -52,5 +52,10 @@ main()
         "A*(XW) of layer 1 for CORA/CITESEER/PUBMED and of the hidden layer\n"
         "for NELL; REDDIT is nearly sync-free already; L2 X*W is dense-ish\n"
         "(post-ReLU) so its baseline utilization is high except CORA.\n");
-    return 0;
 }
+
+const driver::ScenarioRegistrar reg({
+    "fig14-spmm", "Figure 14 F-J",
+    "per-SPMM ideal vs sync cycles per design (512 PEs)", runFig14Spmm});
+
+} // namespace

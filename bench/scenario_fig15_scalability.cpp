@@ -13,19 +13,19 @@
 #include "accel/perf_model.hpp"
 #include "bench_util.hpp"
 #include "common/table.hpp"
+#include "driver/scenario.hpp"
 #include "model/area_model.hpp"
 
 using namespace awb;
 
-int
-main()
-{
-    bench::banner("Figure 15",
-                  "scalability over 512/768/1024 PEs per design");
+namespace {
 
+void
+runFig15(driver::ScenarioContext &ctx)
+{
     const int pe_counts[3] = {512, 768, 1024};
     for (const auto &spec : paperDatasets()) {
-        auto prof = loadProfile(spec, 1, 1.0);
+        auto prof = loadProfile(spec, ctx.seed, ctx.scale);
         std::printf("\n%s:\n", bench::datasetLabel(spec).c_str());
         Table t({"design", "PEs", "cycles", "speedup", "util",
                  "area (CLB)"});
@@ -33,7 +33,7 @@ main()
         for (Design d :
              {Design::Baseline, Design::LocalA, Design::RemoteC}) {
             for (int pes : pe_counts) {
-                AccelConfig cfg = makeConfig(d, pes, bench::hopBase(spec));
+                AccelConfig cfg = makeConfig(d, pes, hopBase(spec));
                 auto res = PerfModel(cfg).runGcn(prof);
                 std::size_t depth = 0;
                 for (const auto &layer : res.layers) {
@@ -59,5 +59,10 @@ main()
         "grow (fewer rows per PE expose the imbalance); the rebalanced\n"
         "designs hold utilization nearly flat, so their performance scales\n"
         "almost linearly in PE count.\n");
-    return 0;
 }
+
+const driver::ScenarioRegistrar reg({
+    "fig15-scalability", "Figure 15",
+    "scalability over 512/768/1024 PEs per design", runFig15});
+
+} // namespace

@@ -13,6 +13,7 @@
 #include "bench_util.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
+#include "driver/scenario.hpp"
 #include "sparse/convert.hpp"
 
 using namespace awb;
@@ -81,13 +82,10 @@ runCase(const char *label, const CooMatrix &coo)
     std::printf("%s", t.render().c_str());
 }
 
-} // namespace
-
-int
-main()
+void
+runFig9(driver::ScenarioContext &ctx)
 {
-    bench::banner("Figure 9", "local vs remote imbalance on 8 PEs");
-    Rng rng(42);
+    Rng rng(ctx.seed + 41);
     auto local = localImbalance(rng);
     auto remote = remoteImbalance(rng);
     runCase("(A) Local imbalance", local);
@@ -96,5 +94,10 @@ main()
         "\nShape target (paper Fig. 9/10): local imbalance is absorbed by\n"
         "local sharing alone; remote imbalance (clustered rows) keeps the\n"
         "cluster's PEs hot until remote switching spreads the rows.\n");
-    return 0;
 }
+
+const driver::ScenarioRegistrar reg({
+    "fig9-imbalance", "Figure 9",
+    "local vs remote imbalance on 8 PEs", runFig9});
+
+} // namespace

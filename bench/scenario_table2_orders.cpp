@@ -12,16 +12,17 @@
 
 #include "bench_util.hpp"
 #include "common/table.hpp"
+#include "driver/scenario.hpp"
 #include "gcn/ops_count.hpp"
 #include "graph/datasets.hpp"
 
 using namespace awb;
 
-int
-main()
-{
-    bench::banner("Table 2", "multiply ops per execution order (full scale)");
+namespace {
 
+void
+runTable2(driver::ScenarioContext &ctx)
+{
     // Paper-reported totals for the shape check.
     const std::map<std::string, std::pair<double, double>> paper_total = {
         {"cora", {62.8e6, 1.33e6}},   {"citeseer", {198.0e6, 2.23e6}},
@@ -31,7 +32,7 @@ main()
 
     Table t({"dataset", "layer", "(A*X)*W", "A*(X*W)", "ratio"});
     for (const auto &spec : paperDatasets()) {
-        auto ops = countOpsProfile(loadProfile(spec, 1, 1.0));
+        auto ops = countOpsProfile(loadProfile(spec, ctx.seed, ctx.scale));
         for (std::size_t l = 0; l < ops.layer.size(); ++l) {
             t.addRow({bench::datasetLabel(spec),
                       "Layer" + std::to_string(l + 1),
@@ -55,5 +56,10 @@ main()
     std::printf("Shape target: A*(X*W) cheaper by 1-3 orders of magnitude on\n"
                 "every dataset; the accelerator therefore computes X*W first\n"
                 "(paper §3.1).\n");
-    return 0;
 }
+
+const driver::ScenarioRegistrar reg({
+    "table2-orders", "Table 2",
+    "multiply ops per execution order (full scale)", runTable2});
+
+} // namespace

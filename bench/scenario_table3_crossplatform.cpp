@@ -13,11 +13,11 @@
  */
 
 #include <cstdio>
-#include <cstring>
 
 #include "accel/perf_model.hpp"
 #include "bench_util.hpp"
 #include "common/table.hpp"
+#include "driver/scenario.hpp"
 #include "gcn/model.hpp"
 #include "gcn/ops_count.hpp"
 #include "model/energy_model.hpp"
@@ -25,14 +25,16 @@
 
 using namespace awb;
 
-int
-main(int argc, char **argv)
-{
-    // --measure-all additionally wall-clock-measures Nell and Reddit on
-    // the host CPU (minutes of runtime and ~1.5 GB RSS for Reddit).
-    bool measure_all = argc > 1 && std::strcmp(argv[1], "--measure-all") == 0;
+namespace {
 
-    bench::banner("Table 3", "cross-platform latency and energy efficiency");
+void
+runTable3(driver::ScenarioContext &ctx)
+{
+    // The 'measure-all' argument additionally wall-clock-measures Nell
+    // and Reddit on the host CPU (minutes of runtime, ~1.5 GB RSS).
+    bool measure_all = false;
+    for (const auto &a : ctx.args)
+        if (a == "measure-all" || a == "--measure-all") measure_all = true;
 
     const double kFpgaMhz = 275.0, kEieMhz = 285.0;
     Table t({"dataset", "platform", "freq", "latency (ms)",
@@ -41,7 +43,7 @@ main(int argc, char **argv)
     int n_rows = 0;
 
     for (const auto &spec : paperDatasets()) {
-        auto prof = loadProfile(spec, 1, 1.0);
+        auto prof = loadProfile(spec, ctx.seed, ctx.scale);
         auto ops = countOpsProfile(prof);
 
         // --- CPU row: measured where practical, analytic otherwise.
@@ -50,7 +52,7 @@ main(int argc, char **argv)
         double cpu_ms;
         std::string cpu_tag;
         if (measurable) {
-            auto ds = loadSynthetic(spec, 1, 1.0);
+            auto ds = loadSynthetic(spec, ctx.seed, ctx.scale);
             auto model = makeGcnModel(spec.f1, spec.f2, spec.f3);
             cpu_ms = measureCpuLatencyMs(ds, model, 3);
             cpu_tag = "host CPU (measured)";
@@ -66,7 +68,7 @@ main(int argc, char **argv)
 
         // --- Accelerator rows from the round-level model.
         auto run_design = [&](Design d, double mhz) {
-            AccelConfig cfg = makeConfig(d, 1024, bench::hopBase(spec));
+            AccelConfig cfg = makeConfig(d, 1024, hopBase(spec));
             auto res = PerfModel(cfg).runGcn(prof);
             return evaluateEnergy(res.totalCycles, res.totalTasks, mhz);
         };
@@ -100,5 +102,10 @@ main(int argc, char **argv)
                 sum_base / n_rows);
     std::printf("Paper averages: 246.7x CPU, 78.9x GPU, 11.0x EIE-like, "
                 "2.7x baseline.\n");
-    return 0;
 }
+
+const driver::ScenarioRegistrar reg({
+    "table3-crossplatform", "Table 3",
+    "cross-platform latency and energy efficiency", runTable3});
+
+} // namespace

@@ -15,18 +15,21 @@
 
 #include "accel/perf_model.hpp"
 #include "common/table.hpp"
+#include "driver/scenario.hpp"
 #include "graph/datasets.hpp"
 #include "graph/degree_dist.hpp"
 #include "model/area_model.hpp"
 
 using namespace awb;
 
-int
-main(int argc, char **argv)
+namespace {
+
+void
+runCitationNetwork(driver::ScenarioContext &ctx)
 {
-    const char *name = argc > 1 ? argv[1] : "pubmed";
+    const std::string name = ctx.args.empty() ? "pubmed" : ctx.args[0];
     const DatasetSpec &spec = findDataset(name);
-    WorkloadProfile prof = loadProfile(spec, 7, 1.0);
+    WorkloadProfile prof = loadProfile(spec, ctx.seed + 6, ctx.scale);
 
     Count max_row = *std::max_element(prof.aRowNnz.begin(),
                                       prof.aRowNnz.end());
@@ -42,9 +45,7 @@ main(int argc, char **argv)
     Cycle base = 0;
     for (Design d : {Design::Baseline, Design::LocalA, Design::LocalB,
                      Design::RemoteC, Design::RemoteD}) {
-        AccelConfig cfg = makeConfig(d, pes,
-                                     spec.hopOverride > 0 ? spec.hopOverride
-                                                          : 1);
+        AccelConfig cfg = makeConfig(d, pes, hopBase(spec));
         auto res = PerfModel(cfg).runGcn(prof);
         if (d == Design::Baseline) base = res.totalCycles;
         std::size_t depth = 0;
@@ -64,5 +65,11 @@ main(int argc, char **argv)
     std::printf("\nTakeaway: runtime rebalancing converts the citation\n"
                 "hubs' queueing into spread work — more speed AND smaller\n"
                 "queues, i.e. less silicon.\n");
-    return 0;
 }
+
+const driver::ScenarioRegistrar reg({
+    "citation-network", "paper §1",
+    "full-scale citation workload on every design (arg: dataset name)",
+    runCitationNetwork});
+
+} // namespace

@@ -11,24 +11,28 @@
 #include <cstdio>
 
 #include "accel/gcn_accel.hpp"
+#include "driver/scenario.hpp"
 #include "gcn/reference.hpp"
 #include "graph/datasets.hpp"
 
 using namespace awb;
 
-int
-main()
+namespace {
+
+void
+runQuickstart(driver::ScenarioContext &ctx)
 {
     // 1. A Cora-like dataset at 20% scale (fast enough for the
     //    cycle-accurate engine; use loadProfile + PerfModel for
     //    full-scale studies).
-    Dataset ds = loadSyntheticByName("cora", /*seed=*/42, /*scale=*/0.2);
+    Dataset ds = loadSyntheticByName("cora", ctx.seed + 41, 0.2 * ctx.scale);
     std::printf("dataset: %s, %d nodes, %lld adjacency non-zeros\n",
                 ds.spec.name.c_str(), ds.spec.nodes,
                 static_cast<long long>(ds.adjacency.nnz()));
 
     // 2. A 2-layer GCN with Glorot-initialized weights.
-    GcnModel model = makeGcnModel(ds.spec.f1, ds.spec.f2, ds.spec.f3, 42);
+    GcnModel model =
+        makeGcnModel(ds.spec.f1, ds.spec.f2, ds.spec.f3, ctx.seed + 41);
 
     // 3. Software golden inference.
     InferenceResult golden = inferGcn(ds, model);
@@ -58,5 +62,11 @@ main()
     }
     std::printf("\nDesign(D) should finish in noticeably fewer cycles at "
                 "higher PE utilization.\n");
-    return 0;
 }
+
+const driver::ScenarioRegistrar reg({
+    "quickstart", "walk-through",
+    "cycle-accurate baseline vs Design(D) on a small Cora-like graph",
+    runQuickstart});
+
+} // namespace

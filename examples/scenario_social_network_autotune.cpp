@@ -14,21 +14,24 @@
 #include "accel/perf_model.hpp"
 #include "accel/spmm_engine.hpp"
 #include "common/rng.hpp"
+#include "driver/scenario.hpp"
 #include "graph/datasets.hpp"
 
 using namespace awb;
 
-int
-main()
+namespace {
+
+void
+runSocialAutotune(driver::ScenarioContext &ctx)
 {
     // Nell-like clustered graph, scaled so the cycle-accurate engine
     // finishes quickly.
-    Dataset ds = loadSyntheticByName("nell", 3, /*scale=*/0.04);
+    Dataset ds = loadSyntheticByName("nell", ctx.seed + 2, 0.04 * ctx.scale);
     std::printf("social graph: %d users, %lld follow edges (clustered "
                 "celebrity band)\n\n",
                 ds.spec.nodes, static_cast<long long>(ds.adjacency.nnz()));
 
-    Rng rng(5);
+    Rng rng(ctx.seed + 4);
     DenseMatrix activations(ds.spec.nodes, 32);
     activations.fillUniform(rng, -1.0f, 1.0f);
 
@@ -65,5 +68,11 @@ main()
                 "Switches spread the celebrity rows, then hold steady: the\n"
                 "converged map is simply reused (hardware auto-tuning,\n"
                 "paper §4).\n");
-    return 0;
 }
+
+const driver::ScenarioRegistrar reg({
+    "social-autotune", "paper §4/§5.2",
+    "watch remote-switching auto-tuning converge on a clustered graph",
+    runSocialAutotune});
+
+} // namespace

@@ -1,0 +1,14 @@
+/**
+ * @file
+ * main() of the unified `awbsim` experiment driver. All behaviour lives
+ * in driver.cpp; scenario definitions self-register from the scenario
+ * TUs linked into this binary.
+ */
+
+#include "driver/driver.hpp"
+
+int
+main(int argc, char **argv)
+{
+    return awb::driver::driverMain(argc, argv);
+}

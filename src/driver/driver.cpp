@@ -1,0 +1,183 @@
+#include "driver/driver.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/log.hpp"
+#include "driver/scenario.hpp"
+#include "driver/sweep.hpp"
+
+namespace awb::driver {
+
+namespace {
+
+std::vector<std::string>
+splitCsv(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (start <= s.size()) {
+        std::size_t comma = s.find(',', start);
+        if (comma == std::string::npos) comma = s.size();
+        if (comma > start) out.push_back(s.substr(start, comma - start));
+        start = comma + 1;
+    }
+    return out;
+}
+
+Design
+parseDesignCli(const std::string &s)
+{
+    if (s == "base" || s == "baseline") return Design::Baseline;
+    if (s == "a") return Design::LocalA;
+    if (s == "b") return Design::LocalB;
+    if (s == "c") return Design::RemoteC;
+    if (s == "d") return Design::RemoteD;
+    if (s == "eie") return Design::EieLike;
+    fatal("unknown design '" + s + "' (base|a|b|c|d|eie)");
+}
+
+void
+printUsage()
+{
+    std::printf(
+        "awbsim — AWB-GCN unified experiment driver\n\n"
+        "  awbsim --list-scenarios\n"
+        "      List every registered paper scenario.\n\n"
+        "  awbsim run <scenario ...> [--seed N] [--scale S] [--repeat N]\n"
+        "             [--json FILE] [args ...]\n"
+        "      Run scenarios by name ('all' = every one). Extra\n"
+        "      positional args are passed to the scenarios.\n\n"
+        "  awbsim --sweep [options]\n"
+        "      Expand and run a configuration grid on a worker pool.\n"
+        "      --datasets a,b,..   default cora,citeseer,pubmed,nell,reddit\n"
+        "      --designs d1,d2,..  of base|a|b|c|d|eie (default base,a,b,c,d)\n"
+        "      --pes n1,n2,..      PE-array sizes (default 512)\n"
+        "      --modes m1,m2,..    of model|cycle|tdq1|tdq2 (default model)\n"
+        "      --scale S           dataset node-count scale (default 1.0)\n"
+        "      --seed N            global seed (default 1)\n"
+        "      --threads N         worker threads (default: hardware)\n"
+        "      --repeats N         per-point repeats, checks determinism\n"
+        "      --json FILE         write JSON document (default\n"
+        "                          awbsim_sweep.json; '-' = stdout)\n"
+        "      --no-table          suppress the ASCII result table\n"
+        "      --progress          per-point progress lines on stderr\n");
+}
+
+int
+listScenarios()
+{
+    auto all = ScenarioRegistry::instance().all();
+    std::printf("%zu scenarios:\n", all.size());
+    for (const Scenario *s : all)
+        std::printf("  %-24s %-16s %s\n", s->name.c_str(),
+                    ("[" + s->figure + "]").c_str(), s->summary.c_str());
+    return 0;
+}
+
+int
+runSweepCli(int argc, char **argv, int first)
+{
+    SweepOptions opts;
+    bool table = true;
+    std::string json_path = "awbsim_sweep.json";
+    for (int i = first; i < argc; ++i) {
+        std::string a = argv[i];
+        auto need = [&](const char *flag) -> std::string {
+            if (i + 1 >= argc) fatal(std::string(flag) + " needs a value");
+            return argv[++i];
+        };
+        if (a == "--datasets") {
+            opts.datasets = splitCsv(need("--datasets"));
+        } else if (a == "--designs") {
+            opts.designs.clear();
+            for (const auto &d : splitCsv(need("--designs")))
+                opts.designs.push_back(parseDesignCli(d));
+        } else if (a == "--pes") {
+            opts.peCounts.clear();
+            for (const auto &p : splitCsv(need("--pes")))
+                opts.peCounts.push_back(parseInt("--pes", p));
+        } else if (a == "--modes") {
+            opts.modes.clear();
+            for (const auto &m : splitCsv(need("--modes")))
+                opts.modes.push_back(parseSweepMode(m));
+        } else if (a == "--scale") {
+            opts.scale = parseDouble("--scale", need("--scale"));
+        } else if (a == "--seed") {
+            opts.seed = parseUint("--seed", need("--seed"));
+        } else if (a == "--threads") {
+            opts.threads = parseInt("--threads", need("--threads"));
+        } else if (a == "--repeats") {
+            opts.repeats = parseInt("--repeats", need("--repeats"));
+        } else if (a == "--json") {
+            json_path = need("--json");
+        } else if (a == "--no-table") {
+            table = false;
+        } else if (a == "--progress") {
+            opts.progress = true;
+        } else {
+            fatal("unknown sweep flag: " + a);
+        }
+    }
+    if (opts.datasets.empty() || opts.designs.empty() ||
+        opts.peCounts.empty() || opts.modes.empty())
+        fatal("sweep grid has an empty axis");
+
+    std::vector<SweepPoint> points = expandGrid(opts);
+    std::fprintf(stderr, "sweep: %zu grid points, %u worker threads\n",
+                 points.size(), resolveThreads(opts, points.size()));
+
+    auto outcomes = runSweep(opts, points);
+    if (table) std::printf("%s", sweepTable(outcomes).c_str());
+
+    std::string doc = sweepToJson(opts, outcomes).dump(2);
+    if (json_path == "-") {
+        std::printf("%s", doc.c_str());
+    } else {
+        std::ofstream f(json_path);
+        if (!f) fatal("cannot write " + json_path);
+        f << doc;
+        std::printf("sweep JSON written to %s\n", json_path.c_str());
+    }
+
+    int failed = 0;
+    for (const auto &o : outcomes)
+        if (!o.ok) ++failed;
+    if (failed)
+        std::fprintf(stderr, "%d of %zu points failed\n", failed,
+                     outcomes.size());
+    return failed ? 1 : 0;
+}
+
+} // namespace
+
+int
+driverMain(int argc, char **argv)
+{
+    if (argc < 2) {
+        printUsage();
+        return 2;
+    }
+    std::string cmd = argv[1];
+    if (cmd == "--help" || cmd == "-h" || cmd == "help") {
+        printUsage();
+        return 0;
+    }
+    if (cmd == "--list-scenarios" || cmd == "list") return listScenarios();
+    if (cmd == "run") {
+        ScenarioCli cli = parseScenarioCli(argc, argv, 2,
+                                           /*warn_unknown=*/true);
+        if (cli.help) {
+            printUsage();
+            return 0;
+        }
+        return runScenarioCli(cli, /*default_all=*/false);
+    }
+    if (cmd == "--sweep" || cmd == "sweep") return runSweepCli(argc, argv, 2);
+    printUsage();
+    fatal("unknown command: " + cmd);
+}
+
+} // namespace awb::driver

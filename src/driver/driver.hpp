@@ -1,0 +1,25 @@
+/**
+ * @file
+ * The `awbsim` unified experiment driver CLI.
+ *
+ *   awbsim --list-scenarios
+ *   awbsim run <scenario ...> [--seed N] [--scale S] [--repeat N] [args]
+ *   awbsim --sweep [--datasets cora,nell] [--designs base,a,b,c,d,eie]
+ *          [--pes 512,1024] [--modes model,cycle,tdq1,tdq2] [--scale S]
+ *          [--seed N] [--threads N] [--repeats N] [--json FILE]
+ *          [--no-table] [--progress]
+ *
+ * `run` executes registered paper scenarios (the former bench_* and
+ * example mains); `--sweep` expands a configuration grid and runs it on
+ * the multithreaded sweep engine, emitting an ASCII table and a
+ * deterministic JSON document.
+ */
+
+#pragma once
+
+namespace awb::driver {
+
+/** Full CLI entry point; returns the process exit code. */
+int driverMain(int argc, char **argv);
+
+} // namespace awb::driver

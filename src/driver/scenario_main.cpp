@@ -1,0 +1,15 @@
+/**
+ * @file
+ * Generic main() for the thin per-scenario executables (the historical
+ * bench_* and example binaries): runs every scenario linked into the
+ * binary — normally exactly one — with the shared argument handling of
+ * scenarioMain().
+ */
+
+#include "driver/scenario.hpp"
+
+int
+main(int argc, char **argv)
+{
+    return awb::driver::scenarioMain(argc, argv);
+}

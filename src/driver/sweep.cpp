@@ -1,0 +1,353 @@
+#include "driver/sweep.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "accel/gcn_accel.hpp"
+#include "accel/perf_model.hpp"
+#include "accel/spmm_engine.hpp"
+#include "common/log.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "gcn/model.hpp"
+#include "graph/datasets.hpp"
+#include "model/area_model.hpp"
+#include "model/energy_model.hpp"
+#include "sparse/convert.hpp"
+
+namespace awb::driver {
+
+namespace {
+
+constexpr double kFpgaMhz = 275.0;  ///< paper operating frequency
+constexpr double kEieMhz = 285.0;   ///< EIE-like design frequency
+
+bool
+isPowerOfTwo(int v)
+{
+    return v >= 2 && (v & (v - 1)) == 0;
+}
+
+/** splitmix64 finalizer (Vigna); full-avalanche seed mixing. */
+std::uint64_t
+splitmix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30U)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27U)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31U);
+}
+
+/** Fold cycle-level stats of one SPMM into the outcome accumulators. */
+void
+accumulate(SweepOutcome &out, const SpmmStats &s)
+{
+    out.cycles += s.cycles;
+    out.idealCycles += s.idealCycles;
+    out.syncCycles += s.syncCycles;
+    out.tasks += s.tasks;
+    out.rounds += s.rounds;
+    out.rowsSwitched += s.rowsSwitched;
+    out.peakTqDepth = std::max(out.peakTqDepth, s.peakQueueDepth);
+}
+
+void
+accumulate(SweepOutcome &out, const PerfSpmmResult &s)
+{
+    out.idealCycles += s.idealCycles;
+    out.syncCycles += s.syncCycles;
+    out.rounds += s.rounds;
+    out.rowsSwitched += s.rowsSwitched;
+    out.peakTqDepth = std::max(out.peakTqDepth, s.peakQueueDepth);
+}
+
+/** One execution of a point's workload; everything but repeat checking. */
+SweepOutcome
+executeOnce(const SweepPoint &p, const SweepOptions &opts)
+{
+    SweepOutcome out;
+    out.point = p;
+    const DatasetSpec &spec = findDataset(p.dataset);
+    AccelConfig cfg = makeConfig(p.design, p.pes, hopBase(spec));
+
+    if (p.mode != SweepMode::Model && !isPowerOfTwo(p.pes)) {
+        out.error = "cycle-accurate modes need a power-of-two PE count";
+        return out;
+    }
+
+    switch (p.mode) {
+      case SweepMode::Model: {
+        WorkloadProfile prof = loadProfile(spec, p.seed, opts.scale);
+        PerfGcnResult res = PerfModel(cfg).runGcn(prof);
+        out.cycles = res.totalCycles;
+        out.tasks = res.totalTasks;
+        out.utilization = res.utilization;
+        for (const auto &layer : res.layers) {
+            accumulate(out, layer.xw);
+            accumulate(out, layer.ax);
+        }
+        break;
+      }
+      case SweepMode::Cycle: {
+        Dataset ds = loadSynthetic(spec, p.seed, opts.scale);
+        GcnModel model =
+            makeGcnModel(ds.spec.f1, ds.spec.f2, ds.spec.f3, p.seed);
+        GcnRunResult res = GcnAccelerator(cfg).run(ds, model);
+        out.utilization = res.utilization;
+        for (const auto &layer : res.layers) {
+            accumulate(out, layer.xw);
+            accumulate(out, layer.ax);
+            for (const auto &hop : layer.extraHops) accumulate(out, hop);
+        }
+        out.cycles = res.totalCycles;  // pipelined end-to-end delay
+        out.tasks = res.totalTasks;
+        break;
+      }
+      case SweepMode::SpmmTdq1: {
+        Dataset ds = loadSynthetic(spec, p.seed, opts.scale);
+        CscMatrix x = csrToCsc(ds.features);
+        Rng rng(p.seed, /*seq=*/1);
+        DenseMatrix w(ds.spec.f1, ds.spec.f2);
+        w.fillUniform(rng, -1.0f, 1.0f);
+        RowPartition part(x.rows(), cfg.numPes, cfg.mapPolicy);
+        SpmmStats stats;
+        SpmmEngine(cfg).run(x, w, TdqKind::Tdq1DenseScan, part, stats);
+        accumulate(out, stats);
+        out.utilization = stats.utilization;
+        break;
+      }
+      case SweepMode::SpmmTdq2: {
+        Dataset ds = loadSynthetic(spec, p.seed, opts.scale);
+        Rng rng(p.seed, /*seq=*/2);
+        DenseMatrix b(ds.spec.nodes, ds.spec.f2);
+        b.fillUniform(rng, -1.0f, 1.0f);
+        RowPartition part(ds.adjacency.rows(), cfg.numPes, cfg.mapPolicy);
+        SpmmStats stats;
+        SpmmEngine(cfg).run(ds.adjacency, b, TdqKind::Tdq2OmegaCsc, part,
+                            stats);
+        accumulate(out, stats);
+        out.utilization = stats.utilization;
+        break;
+      }
+    }
+
+    double mhz = p.design == Design::EieLike ? kEieMhz : kFpgaMhz;
+    EnergyReport energy = evaluateEnergy(out.cycles, out.tasks, mhz);
+    out.latencyMs = energy.latencyMs;
+    out.inferencesPerKj = energy.inferencesPerKj;
+    AreaEstimate area = estimateArea(cfg, out.peakTqDepth);
+    out.areaTotalClb = area.totalClb;
+    out.areaTqClb = area.tqClb;
+    out.ok = true;
+    return out;
+}
+
+} // namespace
+
+std::string
+sweepModeName(SweepMode m)
+{
+    switch (m) {
+      case SweepMode::Model: return "model";
+      case SweepMode::Cycle: return "cycle";
+      case SweepMode::SpmmTdq1: return "tdq1";
+      case SweepMode::SpmmTdq2: return "tdq2";
+    }
+    return "?";
+}
+
+SweepMode
+parseSweepMode(const std::string &s)
+{
+    if (s == "model") return SweepMode::Model;
+    if (s == "cycle") return SweepMode::Cycle;
+    if (s == "tdq1") return SweepMode::SpmmTdq1;
+    if (s == "tdq2") return SweepMode::SpmmTdq2;
+    fatal("unknown sweep mode '" + s + "' (model|cycle|tdq1|tdq2)");
+}
+
+std::uint64_t
+derivePointSeed(std::uint64_t global_seed, std::size_t index)
+{
+    return splitmix64(splitmix64(global_seed) ^
+                      splitmix64(static_cast<std::uint64_t>(index) + 1));
+}
+
+std::vector<SweepPoint>
+expandGrid(const SweepOptions &opts)
+{
+    std::vector<SweepPoint> points;
+    for (const auto &dataset : opts.datasets) {
+        findDataset(dataset);  // validate early; fatal() on unknown
+        for (Design design : opts.designs) {
+            for (int pes : opts.peCounts) {
+                for (SweepMode mode : opts.modes) {
+                    SweepPoint p;
+                    p.index = points.size();
+                    p.dataset = dataset;
+                    p.design = design;
+                    p.pes = pes;
+                    p.mode = mode;
+                    p.seed = derivePointSeed(opts.seed, p.index);
+                    points.push_back(std::move(p));
+                }
+            }
+        }
+    }
+    return points;
+}
+
+SweepOutcome
+runSweepPoint(const SweepPoint &point, const SweepOptions &opts)
+{
+    SweepOutcome out;
+    try {
+        out = executeOnce(point, opts);
+        for (int r = 1; out.ok && r < opts.repeats; ++r) {
+            SweepOutcome again = executeOnce(point, opts);
+            if (again.cycles != out.cycles || again.tasks != out.tasks)
+                out.deterministic = false;
+        }
+    } catch (const std::exception &e) {
+        out.point = point;
+        out.ok = false;
+        out.error = e.what();
+    }
+    return out;
+}
+
+unsigned
+resolveThreads(const SweepOptions &opts, std::size_t n_points)
+{
+    unsigned n = opts.threads > 0
+        ? static_cast<unsigned>(opts.threads)
+        : std::max(1U, std::thread::hardware_concurrency());
+    return std::min<unsigned>(
+        n, static_cast<unsigned>(std::max<std::size_t>(n_points, 1)));
+}
+
+std::vector<SweepOutcome>
+runSweep(const SweepOptions &opts, const std::vector<SweepPoint> &points)
+{
+    std::vector<SweepOutcome> outcomes(points.size());
+    unsigned n_threads = resolveThreads(opts, points.size());
+
+    std::atomic<std::size_t> next{0};
+    std::mutex progress_mutex;
+    auto worker = [&]() {
+        for (;;) {
+            std::size_t i = next.fetch_add(1);
+            if (i >= points.size()) break;
+            outcomes[i] = runSweepPoint(points[i], opts);
+            if (opts.progress) {
+                std::lock_guard<std::mutex> lock(progress_mutex);
+                std::fprintf(stderr, "[%zu/%zu] %s %s %d PEs %s: %s\n",
+                             i + 1, points.size(),
+                             points[i].dataset.c_str(),
+                             designName(points[i].design).c_str(),
+                             points[i].pes,
+                             sweepModeName(points[i].mode).c_str(),
+                             outcomes[i].ok ? "ok"
+                                            : outcomes[i].error.c_str());
+            }
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(n_threads);
+    for (unsigned t = 0; t < n_threads; ++t) pool.emplace_back(worker);
+    for (auto &t : pool) t.join();
+    return outcomes;
+}
+
+std::vector<SweepOutcome>
+runSweep(const SweepOptions &opts)
+{
+    return runSweep(opts, expandGrid(opts));
+}
+
+Json
+sweepToJson(const SweepOptions &opts,
+            const std::vector<SweepOutcome> &outcomes)
+{
+    Json doc = Json::object();
+    doc.set("schema", "awbsim-sweep-v1");
+    doc.set("seed", opts.seed);
+    doc.set("scale", opts.scale);
+    doc.set("repeats", opts.repeats);
+
+    Json grid = Json::object();
+    Json datasets = Json::array();
+    for (const auto &d : opts.datasets) datasets.push(d);
+    grid.set("datasets", std::move(datasets));
+    Json designs = Json::array();
+    for (Design d : opts.designs) designs.push(designName(d));
+    grid.set("designs", std::move(designs));
+    Json pes = Json::array();
+    for (int p : opts.peCounts) pes.push(p);
+    grid.set("pe_counts", std::move(pes));
+    Json modes = Json::array();
+    for (SweepMode m : opts.modes) modes.push(sweepModeName(m));
+    grid.set("modes", std::move(modes));
+    doc.set("grid", std::move(grid));
+
+    Json points = Json::array();
+    for (const auto &o : outcomes) {
+        Json p = Json::object();
+        p.set("index", o.point.index);
+        p.set("dataset", o.point.dataset);
+        p.set("design", designName(o.point.design));
+        p.set("pes", o.point.pes);
+        p.set("mode", sweepModeName(o.point.mode));
+        p.set("seed", o.point.seed);
+        p.set("ok", o.ok);
+        if (!o.ok) {
+            p.set("error", o.error);
+        } else {
+            p.set("cycles", o.cycles);
+            p.set("ideal_cycles", o.idealCycles);
+            p.set("sync_cycles", o.syncCycles);
+            p.set("tasks", o.tasks);
+            p.set("utilization", o.utilization);
+            p.set("peak_tq_depth", o.peakTqDepth);
+            p.set("rows_switched", o.rowsSwitched);
+            p.set("rounds", o.rounds);
+            p.set("latency_ms", o.latencyMs);
+            p.set("inferences_per_kj", o.inferencesPerKj);
+            p.set("area_total_clb", o.areaTotalClb);
+            p.set("area_tq_clb", o.areaTqClb);
+            p.set("deterministic", o.deterministic);
+        }
+        points.push(std::move(p));
+    }
+    doc.set("points", std::move(points));
+    return doc;
+}
+
+std::string
+sweepTable(const std::vector<SweepOutcome> &outcomes)
+{
+    Table t({"mode", "dataset", "design", "PEs", "cycles", "util",
+             "TQ depth", "switched", "latency(ms)", "area(CLB)"});
+    for (const auto &o : outcomes) {
+        if (!o.ok) {
+            t.addRow({sweepModeName(o.point.mode), o.point.dataset,
+                      designName(o.point.design),
+                      std::to_string(o.point.pes), "ERROR: " + o.error, "",
+                      "", "", "", ""});
+            continue;
+        }
+        t.addRow({sweepModeName(o.point.mode), o.point.dataset,
+                  designName(o.point.design), std::to_string(o.point.pes),
+                  humanCount(static_cast<double>(o.cycles)),
+                  percent(o.utilization), std::to_string(o.peakTqDepth),
+                  std::to_string(o.rowsSwitched), fixed(o.latencyMs, 3),
+                  humanCount(o.areaTotalClb)});
+    }
+    return t.render();
+}
+
+} // namespace awb::driver

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Multithreaded scenario-sweep engine: expands a grid of
+ * dataset × design × PE-count × execution-mode points, runs every point
+ * on a std::thread worker pool (one independent SpmmEngine / PerfModel
+ * per point, nothing shared but the result slot), and aggregates
+ * cycle/utilization/energy/area results into paper-style tables and a
+ * machine-readable JSON document.
+ *
+ * Determinism contract: each point derives its RNG seed from the global
+ * seed and its own grid index (splitmix64 mixing), results land in a
+ * pre-sized vector slot keyed by that index, and JSON rendering uses one
+ * fixed formatting path — so the output is byte-identical for a given
+ * (options, seed) regardless of worker-thread count or scheduling.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "accel/config.hpp"
+#include "driver/json.hpp"
+
+namespace awb::driver {
+
+/** What one sweep point executes. */
+enum class SweepMode
+{
+    Model,     ///< round-level PerfModel, full 2-layer GCN (any scale)
+    Cycle,     ///< cycle-accurate GcnAccelerator, full 2-layer GCN
+    SpmmTdq1,  ///< cycle-accurate single SPMM, TDQ-1 dense-scan path (X×W)
+    SpmmTdq2,  ///< cycle-accurate single SPMM, TDQ-2 Omega path (A×B)
+};
+
+std::string sweepModeName(SweepMode m);
+SweepMode parseSweepMode(const std::string &s);
+
+/** The grid axes plus execution knobs. */
+struct SweepOptions
+{
+    std::vector<std::string> datasets = {"cora", "citeseer", "pubmed",
+                                         "nell", "reddit"};
+    std::vector<Design> designs = {Design::Baseline, Design::LocalA,
+                                   Design::LocalB, Design::RemoteC,
+                                   Design::RemoteD};
+    std::vector<int> peCounts = {512};
+    std::vector<SweepMode> modes = {SweepMode::Model};
+    double scale = 1.0;        ///< dataset node-count scale
+    std::uint64_t seed = 1;    ///< global seed; per-point seeds derive
+    int threads = 0;           ///< worker threads; 0 = hardware concurrency
+    int repeats = 1;           ///< re-run each point; all repeats must
+                               ///< produce identical cycles (verified)
+    bool progress = false;     ///< emit per-point progress lines to stderr
+};
+
+/** One expanded grid point. */
+struct SweepPoint
+{
+    std::size_t index = 0;     ///< position in the expanded grid
+    std::string dataset;
+    Design design = Design::Baseline;
+    int pes = 0;
+    SweepMode mode = SweepMode::Model;
+    std::uint64_t seed = 0;    ///< derived, deterministic per point
+};
+
+/** Results of one executed point. */
+struct SweepOutcome
+{
+    SweepPoint point;
+    bool ok = false;
+    std::string error;         ///< set when ok == false
+    Cycle cycles = 0;
+    Cycle idealCycles = 0;
+    Cycle syncCycles = 0;
+    Count tasks = 0;
+    double utilization = 0.0;
+    std::size_t peakTqDepth = 0;
+    Count rowsSwitched = 0;
+    Count rounds = 0;
+    double latencyMs = 0.0;        ///< at the paper's 275 MHz
+    double inferencesPerKj = 0.0;
+    double areaTotalClb = 0.0;
+    double areaTqClb = 0.0;
+    bool deterministic = true;     ///< repeats reproduced identical cycles
+};
+
+/** Deterministic per-point seed derivation (splitmix64 of seed, index). */
+std::uint64_t derivePointSeed(std::uint64_t global_seed, std::size_t index);
+
+/** Worker-pool size a sweep will actually use: opts.threads, or the
+ *  hardware concurrency when 0, capped at the number of grid points. */
+unsigned resolveThreads(const SweepOptions &opts, std::size_t n_points);
+
+/** Expand the option axes into ordered grid points. */
+std::vector<SweepPoint> expandGrid(const SweepOptions &opts);
+
+/** Execute one point in isolation (used by workers and tests). */
+SweepOutcome runSweepPoint(const SweepPoint &point,
+                           const SweepOptions &opts);
+
+/** Run already-expanded points across the worker pool; outcomes in
+ *  grid order. */
+std::vector<SweepOutcome> runSweep(const SweepOptions &opts,
+                                   const std::vector<SweepPoint> &points);
+
+/** Convenience: expandGrid + runSweep. */
+std::vector<SweepOutcome> runSweep(const SweepOptions &opts);
+
+/** Machine-readable document ("awbsim-sweep-v1" schema). */
+Json sweepToJson(const SweepOptions &opts,
+                 const std::vector<SweepOutcome> &outcomes);
+
+/** Paper-style ASCII table of the outcomes. */
+std::string sweepTable(const std::vector<SweepOutcome> &outcomes);
+
+} // namespace awb::driver

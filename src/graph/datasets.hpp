@@ -70,6 +70,14 @@ struct WorkloadProfile
 /** The five paper datasets: Cora, Citeseer, Pubmed, Nell, Reddit. */
 const std::vector<DatasetSpec> &paperDatasets();
 
+/** Base sharing-hop distance for a dataset (Nell overrides to 2/3-hop,
+ *  paper §5.2). */
+inline int
+hopBase(const DatasetSpec &spec)
+{
+    return spec.hopOverride > 0 ? spec.hopOverride : 1;
+}
+
 /** Look up a spec by (case-insensitive) name; fatal() if unknown. */
 const DatasetSpec &findDataset(const std::string &name);
 

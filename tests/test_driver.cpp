@@ -1,0 +1,269 @@
+/**
+ * @file
+ * Unit tests of the experiment-driver subsystem: JSON document builder,
+ * scenario registration, sweep-grid expansion, per-point seed derivation,
+ * worker-pool determinism (same seed ⇒ byte-identical JSON regardless of
+ * thread count) and the JSON schema of sweep output.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "driver/json.hpp"
+#include "driver/scenario.hpp"
+#include "driver/sweep.hpp"
+
+using namespace awb;
+using namespace awb::driver;
+
+namespace {
+
+/** A small, fast grid exercising both fidelities. */
+SweepOptions
+smallGrid()
+{
+    SweepOptions opts;
+    opts.datasets = {"cora", "citeseer"};
+    opts.designs = {Design::Baseline, Design::RemoteD};
+    opts.peCounts = {32, 64};
+    opts.modes = {SweepMode::Model};
+    opts.scale = 0.5;
+    opts.seed = 7;
+    return opts;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------- JSON
+
+TEST(Json, ScalarsAndEscaping)
+{
+    Json o = Json::object();
+    o.set("int", 42);
+    o.set("neg", std::int64_t{-7});
+    o.set("str", "a\"b\\c\nd");
+    o.set("bool", true);
+    o.set("null", Json());
+    EXPECT_EQ(o.dump(),
+              "{\"int\":42,\"neg\":-7,\"str\":\"a\\\"b\\\\c\\nd\","
+              "\"bool\":true,\"null\":null}");
+}
+
+TEST(Json, UnsignedValuesRenderUnsigned)
+{
+    Json o = Json::object();
+    o.set("seed", std::uint64_t{18446744073709551615ULL});
+    EXPECT_EQ(o.dump(), "{\"seed\":18446744073709551615}");
+}
+
+TEST(Json, ObjectKeysKeepInsertionOrder)
+{
+    Json o = Json::object();
+    o.set("zebra", 1);
+    o.set("alpha", 2);
+    o.set("mid", 3);
+    EXPECT_EQ(o.dump(), "{\"zebra\":1,\"alpha\":2,\"mid\":3}");
+}
+
+TEST(Json, ArraysAndNesting)
+{
+    Json a = Json::array();
+    a.push(1);
+    a.push("two");
+    Json o = Json::object();
+    o.set("list", std::move(a));
+    EXPECT_EQ(o.dump(), "{\"list\":[1,\"two\"]}");
+}
+
+TEST(Json, DoubleFormattingIsStable)
+{
+    EXPECT_EQ(jsonNumber(0.5), "0.5");
+    EXPECT_EQ(jsonNumber(1.0 / 3.0), jsonNumber(1.0 / 3.0));
+    EXPECT_EQ(jsonNumber(1e300), "1e+300");
+}
+
+// ------------------------------------------------------------ registry
+
+TEST(ScenarioRegistry, RegistrationAndLookup)
+{
+    auto &reg = ScenarioRegistry::instance();
+    std::size_t before = reg.all().size();
+    ScenarioRegistrar r({"test-scenario-a", "Test", "a test scenario",
+                         [](ScenarioContext &) {}});
+    EXPECT_EQ(reg.all().size(), before + 1);
+    const Scenario *s = reg.find("test-scenario-a");
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(s->figure, "Test");
+    EXPECT_EQ(reg.find("no-such-scenario"), nullptr);
+}
+
+TEST(ScenarioRegistry, AllIsSortedByName)
+{
+    ScenarioRegistrar rz({"zz-test-scenario", "Test", "late name",
+                          [](ScenarioContext &) {}});
+    ScenarioRegistrar ra({"aa-test-scenario", "Test", "early name",
+                          [](ScenarioContext &) {}});
+    auto all = ScenarioRegistry::instance().all();
+    ASSERT_GE(all.size(), 2u);
+    for (std::size_t i = 1; i < all.size(); ++i)
+        EXPECT_LT(all[i - 1]->name, all[i]->name);
+}
+
+TEST(ScenarioRegistry, RunReceivesContext)
+{
+    std::uint64_t seen_seed = 0;
+    ScenarioRegistrar r({"test-scenario-ctx", "Test", "context check",
+                         [&](ScenarioContext &ctx) {
+                             seen_seed = ctx.seed;
+                             ctx.result.set("ran", true);
+                         }});
+    ScenarioContext ctx;
+    ctx.seed = 99;
+    ScenarioRegistry::instance().find("test-scenario-ctx")->run(ctx);
+    EXPECT_EQ(seen_seed, 99u);
+    EXPECT_EQ(ctx.result.dump(), "{\"ran\":true}");
+}
+
+// ---------------------------------------------------------------- grid
+
+TEST(SweepGrid, ExpansionIsFullCrossProduct)
+{
+    SweepOptions opts = smallGrid();
+    opts.modes = {SweepMode::Model, SweepMode::Cycle};
+    auto points = expandGrid(opts);
+    EXPECT_EQ(points.size(), 2u * 2u * 2u * 2u);
+    for (std::size_t i = 0; i < points.size(); ++i)
+        EXPECT_EQ(points[i].index, i);
+    // Axis order: dataset (slowest), design, PEs, mode (fastest).
+    EXPECT_EQ(points[0].dataset, "cora");
+    EXPECT_EQ(points[0].mode, SweepMode::Model);
+    EXPECT_EQ(points[1].mode, SweepMode::Cycle);
+    EXPECT_EQ(points[2].pes, 64);
+    EXPECT_EQ(points[8].dataset, "citeseer");
+}
+
+TEST(SweepGrid, PointSeedsAreDistinctAndDeterministic)
+{
+    std::set<std::uint64_t> seeds;
+    for (std::size_t i = 0; i < 1000; ++i)
+        seeds.insert(derivePointSeed(1, i));
+    EXPECT_EQ(seeds.size(), 1000u);
+    EXPECT_EQ(derivePointSeed(42, 7), derivePointSeed(42, 7));
+    EXPECT_NE(derivePointSeed(42, 7), derivePointSeed(43, 7));
+}
+
+// ------------------------------------------------- sweep determinism
+
+TEST(Sweep, SameSeedSameJsonAcrossThreadCounts)
+{
+    SweepOptions opts = smallGrid();
+    opts.threads = 1;
+    std::string one = sweepToJson(opts, runSweep(opts)).dump(2);
+    opts.threads = 4;
+    std::string four = sweepToJson(opts, runSweep(opts)).dump(2);
+    EXPECT_EQ(one, four);
+    opts.threads = 3;  // pool larger than some axes, smaller than grid
+    std::string three = sweepToJson(opts, runSweep(opts)).dump(2);
+    EXPECT_EQ(one, three);
+}
+
+TEST(Sweep, DifferentSeedDifferentWorkload)
+{
+    SweepOptions opts = smallGrid();
+    std::string a = sweepToJson(opts, runSweep(opts)).dump();
+    opts.seed = 8;
+    std::string b = sweepToJson(opts, runSweep(opts)).dump();
+    EXPECT_NE(a, b);
+}
+
+TEST(Sweep, RepeatsVerifyDeterminism)
+{
+    SweepOptions opts = smallGrid();
+    opts.datasets = {"cora"};
+    opts.peCounts = {32};
+    opts.repeats = 2;
+    auto outcomes = runSweep(opts);
+    for (const auto &o : outcomes) {
+        ASSERT_TRUE(o.ok) << o.error;
+        EXPECT_TRUE(o.deterministic);
+    }
+}
+
+TEST(Sweep, CycleModeMatchesAcceleratorAndChecksPow2)
+{
+    SweepOptions opts = smallGrid();
+    opts.datasets = {"cora"};
+    opts.designs = {Design::RemoteD};
+    opts.peCounts = {24};  // not a power of two
+    opts.modes = {SweepMode::Cycle};
+    opts.scale = 0.2;
+    auto outcomes = runSweep(opts);
+    ASSERT_EQ(outcomes.size(), 1u);
+    EXPECT_FALSE(outcomes[0].ok);
+
+    opts.peCounts = {32};
+    outcomes = runSweep(opts);
+    ASSERT_EQ(outcomes.size(), 1u);
+    ASSERT_TRUE(outcomes[0].ok) << outcomes[0].error;
+    EXPECT_GT(outcomes[0].cycles, 0);
+    EXPECT_GT(outcomes[0].tasks, 0);
+    EXPECT_GT(outcomes[0].utilization, 0.0);
+}
+
+TEST(Sweep, TdqModesRun)
+{
+    SweepOptions opts;
+    opts.datasets = {"cora"};
+    opts.designs = {Design::LocalA};
+    opts.peCounts = {16};
+    opts.modes = {SweepMode::SpmmTdq1, SweepMode::SpmmTdq2};
+    opts.scale = 0.1;
+    auto outcomes = runSweep(opts);
+    ASSERT_EQ(outcomes.size(), 2u);
+    for (const auto &o : outcomes) {
+        ASSERT_TRUE(o.ok) << o.error;
+        EXPECT_GT(o.cycles, 0);
+        EXPECT_GT(o.rounds, 0);
+    }
+}
+
+// ------------------------------------------------------------- schema
+
+TEST(Sweep, JsonSchema)
+{
+    SweepOptions opts = smallGrid();
+    opts.datasets = {"cora"};
+    opts.designs = {Design::Baseline};
+    opts.peCounts = {32};
+    auto outcomes = runSweep(opts);
+    std::string doc = sweepToJson(opts, outcomes).dump(2);
+
+    for (const char *key :
+         {"\"schema\": \"awbsim-sweep-v1\"", "\"seed\": 7", "\"grid\":",
+          "\"datasets\":", "\"designs\":", "\"pe_counts\":", "\"modes\":",
+          "\"points\":", "\"index\": 0", "\"dataset\": \"cora\"",
+          "\"design\": \"Baseline\"", "\"pes\": 32", "\"mode\": \"model\"",
+          "\"ok\": true", "\"cycles\":", "\"ideal_cycles\":",
+          "\"sync_cycles\":", "\"tasks\":", "\"utilization\":",
+          "\"peak_tq_depth\":", "\"rows_switched\":", "\"rounds\":",
+          "\"latency_ms\":", "\"inferences_per_kj\":",
+          "\"area_total_clb\":", "\"area_tq_clb\":", "\"deterministic\":"})
+        EXPECT_NE(doc.find(key), std::string::npos) << "missing " << key;
+
+    // Balanced braces/brackets — cheap well-formedness check.
+    long depth = 0;
+    for (char c : doc) {
+        if (c == '{' || c == '[') ++depth;
+        if (c == '}' || c == ']') --depth;
+        EXPECT_GE(depth, 0);
+    }
+    EXPECT_EQ(depth, 0);
+}
+
+TEST(Sweep, ModeNamesRoundTrip)
+{
+    for (SweepMode m : {SweepMode::Model, SweepMode::Cycle,
+                        SweepMode::SpmmTdq1, SweepMode::SpmmTdq2})
+        EXPECT_EQ(parseSweepMode(sweepModeName(m)), m);
+}
