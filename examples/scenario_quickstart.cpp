@@ -39,8 +39,8 @@ runQuickstart(driver::ScenarioContext &ctx)
 
     // 4. Run the cycle-accurate accelerator in two configurations.
     for (Design design : {Design::Baseline, Design::RemoteD}) {
-        GcnAccelerator accel(makeConfig(design, /*num_pes=*/64));
-        GcnRunResult run = accel.run(ds, model);
+        GcnRunResult run = runGcn(makeConfig(design, /*num_pes=*/64), ds,
+                                  model);
 
         double err = run.output.maxAbsDiff(golden.output);
         std::printf("\n%s (64 PEs):\n", designName(design).c_str());

@@ -18,13 +18,33 @@ designName(Design d)
     return "?";
 }
 
+std::string
+AccelConfig::validate(bool cycle_accurate_tdq2) const
+{
+    if (numPes <= 0) return "numPes must be positive";
+    if (macLatency < 1) return "macLatency must be >= 1";
+    if (numQueuesPerPe < 1) return "numQueuesPerPe must be >= 1";
+    if (receivePorts < 1) return "receivePorts must be positive";
+    if (sharingHops < 0) return "sharingHops must be non-negative";
+    if (trackingWindow < 1) return "trackingWindow must be >= 1";
+    if (omegaBufferDepth < 1) return "omegaBufferDepth must be >= 1";
+    if (networkSpeedup < 1) return "networkSpeedup must be >= 1";
+    if (injectWidth < 0) return "injectWidth must be non-negative (0 = auto)";
+    if (streamWidth < 0) return "streamWidth must be non-negative (0 = auto)";
+    if (maxCyclesPerRound <= 0) return "maxCyclesPerRound must be positive";
+    // Only the cycle-accurate TDQ-2 path requires a power-of-two PE count
+    // (Omega network); the round-level model accepts any size (the
+    // paper's Fig. 15 sweeps 512/768/1024).
+    if (cycle_accurate_tdq2 && numPes >= 2 &&
+        (numPes & (numPes - 1)) != 0)
+        return "cycle-accurate TDQ-2 needs a power-of-two PE count "
+               "(Omega network); use the round-level model otherwise";
+    return "";
+}
+
 AccelConfig
 makeConfig(Design design, int num_pes, int hop_base)
 {
-    // Note: only the cycle-accurate TDQ-2 path requires a power-of-two PE
-    // count (Omega network); the round-level model accepts any size (the
-    // paper's Fig. 15 sweeps 512/768/1024).
-    if (num_pes <= 0) fatal("numPes must be positive");
     if (hop_base < 1) hop_base = 1;
 
     AccelConfig cfg;
@@ -52,6 +72,8 @@ makeConfig(Design design, int num_pes, int hop_base)
         cfg.numQueuesPerPe = 1;
         break;
     }
+    std::string err = cfg.validate();
+    if (!err.empty()) fatal("makeConfig: " + err);
     return cfg;
 }
 

@@ -76,6 +76,16 @@ struct AccelConfig
 
     /** True when this configuration performs any runtime rebalancing. */
     bool rebalancing() const { return sharingHops > 0 || remoteSwitching; }
+
+    /**
+     * Check every field for out-of-range values (non-positive PE/queue/
+     * port counts, negative hop distances or stream widths, a zero
+     * watchdog, ...). With `cycle_accurate_tdq2`, additionally require
+     * the power-of-two PE count the Omega network needs. Returns an
+     * empty string when valid, else a descriptive error; callers surface
+     * the message (CLI error rows, fatal()) instead of asserting.
+     */
+    std::string validate(bool cycle_accurate_tdq2 = false) const;
 };
 
 /**

@@ -3,7 +3,8 @@
 #include <algorithm>
 
 #include "common/log.hpp"
-#include "sparse/convert.hpp"
+#include "sim/factories.hpp"
+#include "sim/session.hpp"
 
 namespace awb {
 
@@ -36,75 +37,43 @@ pipelineCyclesMulti(const std::vector<const std::vector<Cycle> *> &stages)
 }
 
 GcnRunResult
-GcnAccelerator::run(const Dataset &ds, const GcnModel &model)
+runGcn(const AccelConfig &cfg, const Dataset &ds, const GcnModel &model)
 {
-    const Index n = ds.adjacency.rows();
-    if (ds.features.cols() != model.inDim(0))
-        fatal("GcnAccelerator: feature dim mismatch");
+    // Compose the GCN as a workload graph and let the Session schedule
+    // it: the adjacency row map is carried across layers automatically
+    // (auto-tuning work done in layer 1 keeps paying off in layer 2),
+    // and each layer's chained SPMMs are column-pipelined (Fig. 8).
+    sim::WorkloadBundle bundle = sim::buildGcn(ds, model);
+    sim::Session session(cfg);
+    sim::SessionResult sres = sim::runWorkload(session, std::move(bundle));
 
     GcnRunResult res;
-    // The adjacency row map persists across layers: auto-tuning work done
-    // in layer 1 keeps paying off in layer 2 (the same A is reused).
-    RowPartition part_a(n, cfg_.numPes, cfg_.mapPolicy);
+    res.output = std::move(sres.output);
+    res.totalCycles = sres.totalCycles;
+    res.totalCyclesSerial = sres.totalCyclesSerial;
+    res.totalTasks = sres.totalTasks;
+    res.utilization = sres.utilization;
 
-    CscMatrix x_csc = csrToCsc(ds.features);
-    SpmmEngine engine(cfg_);
-
+    // Map the flat schedule-order stats back onto the historical
+    // per-layer layout: each layer contributed XW, A(XW), then
+    // adjHops-1 extra hop SPMMs, and formed exactly one pipelined chain.
+    const auto layers = static_cast<std::size_t>(model.layers());
+    if (sres.chains.size() != layers ||
+        sres.nodeStats.size() !=
+            layers * (1 + static_cast<std::size_t>(model.adjHops)))
+        panic("runGcn: Session schedule no longer matches the per-layer "
+              "GCN layout");
+    std::size_t next = 0;
     for (Index l = 0; l < model.layers(); ++l) {
-        const DenseMatrix &w = model.weights[static_cast<std::size_t>(l)];
         GcnLayerResult layer;
-        layer.xw.label = "L" + std::to_string(l + 1) + ".XW";
-        layer.ax.label = "L" + std::to_string(l + 1) + ".A(XW)";
-
-        // X × W through TDQ-1 (fresh partition: X changes every layer).
-        RowPartition part_x(n, cfg_.numPes, cfg_.mapPolicy);
-        DenseMatrix xw = engine.run(x_csc, w, TdqKind::Tdq1DenseScan,
-                                    part_x, layer.xw);
-
-        // A × (XW) through TDQ-2 (persistent adjacency partition).
-        DenseMatrix z = engine.run(ds.adjacency, xw, TdqKind::Tdq2OmegaCsc,
-                                   part_a, layer.ax);
-
-        // Multi-hop aggregation: left-multiply by A again, each stage
-        // pipelined after the previous (paper §3.3: "the three
-        // multiplications can be pipelined").
-        for (Index h = 1; h < model.adjHops; ++h) {
-            SpmmStats hop_stats;
-            hop_stats.label = "L" + std::to_string(l + 1) + ".A^" +
-                              std::to_string(h + 1) + "(XW)";
-            z = engine.run(ds.adjacency, z, TdqKind::Tdq2OmegaCsc, part_a,
-                           hop_stats);
-            layer.extraHops.push_back(std::move(hop_stats));
-        }
-
-        std::vector<const std::vector<Cycle> *> stages = {
-            &layer.xw.roundCycles, &layer.ax.roundCycles};
-        for (const auto &hop : layer.extraHops)
-            stages.push_back(&hop.roundCycles);
-        layer.pipelinedCycles = pipelineCyclesMulti(stages);
-        res.totalCycles += layer.pipelinedCycles;
-        res.totalCyclesSerial += layer.xw.cycles + layer.ax.cycles;
-        res.totalTasks += layer.xw.tasks + layer.ax.tasks;
-        for (const auto &hop : layer.extraHops) {
-            res.totalCyclesSerial += hop.cycles;
-            res.totalTasks += hop.tasks;
-        }
+        layer.xw = std::move(sres.nodeStats[next++]);
+        layer.ax = std::move(sres.nodeStats[next++]);
+        for (Index h = 1; h < model.adjHops; ++h)
+            layer.extraHops.push_back(std::move(sres.nodeStats[next++]));
+        layer.pipelinedCycles =
+            sres.chains[static_cast<std::size_t>(l)].pipelinedCycles;
         res.layers.push_back(std::move(layer));
-
-        bool last = (l == model.layers() - 1);
-        if (!last) {
-            z.relu();
-            x_csc = denseToCsc(z);
-        } else {
-            res.output = std::move(z);
-        }
     }
-
-    res.utilization = res.totalCyclesSerial > 0
-        ? static_cast<double>(res.totalTasks) /
-          (static_cast<double>(cfg_.numPes) *
-           static_cast<double>(res.totalCyclesSerial))
-        : 0.0;
     return res;
 }
 

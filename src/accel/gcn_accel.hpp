@@ -9,6 +9,10 @@
  * The adjacency matrix is identical in every layer, so the row map tuned
  * by remote switching during layer 1's A×(XW) is carried into layer 2
  * (hardware performance auto-tuning, §4).
+ *
+ * Since the Session API redesign this is a thin front-end over the
+ * sim::Session workload-graph executor (sim/session.hpp); arbitrary
+ * SPMM pipelines (GraphSAGE, GIN, k-hop GCN) compose through that API.
  */
 
 #pragma once
@@ -44,14 +48,32 @@ struct GcnRunResult
     double utilization = 0.0;     ///< tasks / (P · serial cycles)
 };
 
-/** Cycle-accurate accelerator for multi-layer GCN inference. */
+/**
+ * Run multi-layer GCN inference cycle-accurately; functionally exact
+ * (validated against inferGcn). Thin builder over the sim::Session
+ * workload-graph API (sim/factories.hpp): it composes the per-layer
+ * X×W → A^hops(XW) → ReLU graph and maps the SessionResult back onto
+ * the historical per-layer result layout, cycle-for-cycle identical to
+ * the original hand-rolled orchestration.
+ */
+GcnRunResult runGcn(const AccelConfig &cfg, const Dataset &ds,
+                    const GcnModel &model);
+
+/** Deprecated shim kept for one release over the Session API — see the
+ *  README migration guide. Use runGcn(), or sim::Session directly for
+ *  non-GCN workloads. */
 class GcnAccelerator
 {
   public:
     explicit GcnAccelerator(const AccelConfig &cfg) : cfg_(cfg) {}
 
-    /** Run inference; functionally exact (validated against inferGcn). */
-    GcnRunResult run(const Dataset &ds, const GcnModel &model);
+    /** Run inference; identical to runGcn(config(), ds, model). */
+    [[deprecated("use awb::runGcn (or sim::Session + sim::buildGcn); "
+                 "this shim goes away next release")]]
+    GcnRunResult run(const Dataset &ds, const GcnModel &model)
+    {
+        return runGcn(cfg_, ds, model);
+    }
 
     const AccelConfig &config() const { return cfg_; }
 

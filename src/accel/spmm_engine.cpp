@@ -48,19 +48,23 @@ struct NnzStream
 
 } // namespace
 
-SpmmEngine::SpmmEngine(const AccelConfig &cfg) : cfg_(cfg) {}
+SpmmEngine::SpmmEngine(const AccelConfig &cfg) : cfg_(cfg)
+{
+    std::string err = cfg.validate();
+    if (!err.empty()) fatal("SpmmEngine: " + err);
+}
 
-DenseMatrix
-SpmmEngine::run(const CscMatrix &a, const DenseMatrix &b, TdqKind kind,
-                RowPartition &partition, SpmmStats &stats)
+SpmmResult
+SpmmEngine::execute(const CscMatrix &a, const DenseMatrix &b, TdqKind kind,
+                    RowPartition &partition)
 {
     if (a.cols() != b.rows()) panic("SpmmEngine: inner dimensions differ");
     if (partition.rows() != a.rows())
         panic("SpmmEngine: partition rows != operand rows");
-    if (kind == TdqKind::Tdq2OmegaCsc && cfg_.numPes >= 2 &&
-        (cfg_.numPes & (cfg_.numPes - 1)) != 0) {
-        fatal("cycle-accurate TDQ-2 needs a power-of-two PE count "
-              "(Omega network); use the round-level model otherwise");
+    if (kind == TdqKind::Tdq2OmegaCsc) {
+        std::string err =
+            cfg_.validate(/*cycle_accurate_tdq2=*/true);
+        if (!err.empty()) fatal("SpmmEngine: " + err);
     }
 
     const int P = cfg_.numPes;
@@ -110,7 +114,7 @@ SpmmEngine::run(const CscMatrix &a, const DenseMatrix &b, TdqKind kind,
     // so hotspot/coldspot identification must rank by home load.
     std::vector<Count> home_tasks(static_cast<std::size_t>(P), 0);
 
-    stats = SpmmStats{};
+    SpmmStats stats;
     stats.rounds = K;
     stats.perPeTasks.assign(static_cast<std::size_t>(P), 0);
     Cycle now = 0;
@@ -303,7 +307,7 @@ SpmmEngine::run(const CscMatrix &a, const DenseMatrix &b, TdqKind kind,
             stats.rawStalls += cn->value();
     }
     if (use_net) stats.peakNetworkDepth = net.peakBufferDepth();
-    return c;
+    return {std::move(c), std::move(stats)};
 }
 
 } // namespace awb

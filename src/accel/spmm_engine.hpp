@@ -19,6 +19,7 @@
 #pragma once
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "accel/config.hpp"
@@ -54,14 +55,25 @@ struct SpmmStats
     std::vector<Count> perPeTasks;    ///< executed tasks per PE (heat map)
 };
 
+/** Value-semantics result of one SPMM execution. */
+struct SpmmResult
+{
+    DenseMatrix c;    ///< the dense result matrix (functionally exact)
+    SpmmStats stats;  ///< cycle-level results
+};
+
 /**
- * The SPMM engine. One instance may execute several SPMMs; each run's
- * partition argument carries tuned row maps across invocations (the
- * adjacency matrix is reused every layer, so its map keeps improving).
+ * The SPMM engine. One instance may execute several SPMMs; each
+ * execution's partition argument carries tuned row maps across
+ * invocations (the adjacency matrix is reused every layer, so its map
+ * keeps improving). Most callers should not drive the engine directly:
+ * sim::Session (sim/session.hpp) schedules whole workload graphs and
+ * carries the tuned row maps automatically.
  */
 class SpmmEngine
 {
   public:
+    /** fatal() with a descriptive message when the config is invalid. */
     explicit SpmmEngine(const AccelConfig &cfg);
 
     /**
@@ -71,11 +83,22 @@ class SpmmEngine
      * @param b          dense operand (rows == a.cols())
      * @param kind       distribution path (TDQ-1 or TDQ-2)
      * @param partition  row map; mutated by remote switching
-     * @param stats      filled with cycle-level results
-     * @return the dense result matrix (functionally exact)
      */
-    DenseMatrix run(const CscMatrix &a, const DenseMatrix &b, TdqKind kind,
-                    RowPartition &partition, SpmmStats &stats);
+    SpmmResult execute(const CscMatrix &a, const DenseMatrix &b,
+                       TdqKind kind, RowPartition &partition);
+
+    /** Out-param shim over execute(). Deprecated since the Session API
+     *  redesign; removed one release later. */
+    [[deprecated("use SpmmEngine::execute (or sim::Session for whole "
+                 "workloads); the out-param API goes away next release")]]
+    DenseMatrix
+    run(const CscMatrix &a, const DenseMatrix &b, TdqKind kind,
+        RowPartition &partition, SpmmStats &stats)
+    {
+        SpmmResult r = execute(a, b, kind, partition);
+        stats = std::move(r.stats);
+        return std::move(r.c);
+    }
 
   private:
     AccelConfig cfg_;

@@ -55,7 +55,9 @@ printUsage()
         "      --datasets a,b,..   default cora,citeseer,pubmed,nell,reddit\n"
         "      --designs d1,d2,..  of base|a|b|c|d|eie (default base,a,b,c,d)\n"
         "      --pes n1,n2,..      PE-array sizes (default 512)\n"
-        "      --modes m1,m2,..    of model|cycle|tdq1|tdq2 (default model)\n"
+        "      --modes m1,m2,..    of model|cycle|tdq1|tdq2|graphsage|gin|\n"
+        "                          khop (default model; graphsage/gin/khop\n"
+        "                          run workload graphs on the Session API)\n"
         "      --scale S           dataset node-count scale (default 1.0)\n"
         "      --seed N            global seed (default 1)\n"
         "      --threads N         worker threads (default: hardware)\n"

@@ -5,7 +5,8 @@
  *   awbsim --list-scenarios
  *   awbsim run <scenario ...> [--seed N] [--scale S] [--repeat N] [args]
  *   awbsim --sweep [--datasets cora,nell] [--designs base,a,b,c,d,eie]
- *          [--pes 512,1024] [--modes model,cycle,tdq1,tdq2] [--scale S]
+ *          [--pes 512,1024] [--modes model,cycle,graphsage,gin,khop,...]
+ *          [--scale S]
  *          [--seed N] [--threads N] [--repeats N] [--json FILE]
  *          [--no-table] [--progress]
  *

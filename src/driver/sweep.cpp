@@ -16,6 +16,8 @@
 #include "graph/datasets.hpp"
 #include "model/area_model.hpp"
 #include "model/energy_model.hpp"
+#include "sim/factories.hpp"
+#include "sim/session.hpp"
 #include "sparse/convert.hpp"
 
 namespace awb::driver {
@@ -24,12 +26,6 @@ namespace {
 
 constexpr double kFpgaMhz = 275.0;  ///< paper operating frequency
 constexpr double kEieMhz = 285.0;   ///< EIE-like design frequency
-
-bool
-isPowerOfTwo(int v)
-{
-    return v >= 2 && (v & (v - 1)) == 0;
-}
 
 /** splitmix64 finalizer (Vigna); full-avalanche seed mixing. */
 std::uint64_t
@@ -64,6 +60,15 @@ accumulate(SweepOutcome &out, const PerfSpmmResult &s)
     out.peakTqDepth = std::max(out.peakTqDepth, s.peakQueueDepth);
 }
 
+/** Fold a full Session run into the outcome accumulators. */
+void
+accumulate(SweepOutcome &out, const sim::SessionResult &res)
+{
+    for (const auto &s : res.nodeStats) accumulate(out, s);
+    out.cycles = res.totalCycles;  // pipelined end-to-end delay
+    out.utilization = res.utilization;
+}
+
 /** One execution of a point's workload; everything but repeat checking. */
 SweepOutcome
 executeOnce(const SweepPoint &p, const SweepOptions &opts)
@@ -71,10 +76,18 @@ executeOnce(const SweepPoint &p, const SweepOptions &opts)
     SweepOutcome out;
     out.point = p;
     const DatasetSpec &spec = findDataset(p.dataset);
+    if (p.pes <= 0) {
+        out.error = "numPes must be positive";
+        return out;
+    }
     AccelConfig cfg = makeConfig(p.design, p.pes, hopBase(spec));
 
-    if (p.mode != SweepMode::Model && !isPowerOfTwo(p.pes)) {
-        out.error = "cycle-accurate modes need a power-of-two PE count";
+    // Cycle-accurate modes route the adjacency through the Omega network;
+    // surface configuration errors as per-point results, not aborts.
+    std::string cfg_err =
+        cfg.validate(/*cycle_accurate_tdq2=*/p.mode != SweepMode::Model);
+    if (!cfg_err.empty()) {
+        out.error = cfg_err;
         return out;
     }
 
@@ -95,7 +108,7 @@ executeOnce(const SweepPoint &p, const SweepOptions &opts)
         Dataset ds = loadSynthetic(spec, p.seed, opts.scale);
         GcnModel model =
             makeGcnModel(ds.spec.f1, ds.spec.f2, ds.spec.f3, p.seed);
-        GcnRunResult res = GcnAccelerator(cfg).run(ds, model);
+        GcnRunResult res = runGcn(cfg, ds, model);
         out.utilization = res.utilization;
         for (const auto &layer : res.layers) {
             accumulate(out, layer.xw);
@@ -113,10 +126,10 @@ executeOnce(const SweepPoint &p, const SweepOptions &opts)
         DenseMatrix w(ds.spec.f1, ds.spec.f2);
         w.fillUniform(rng, -1.0f, 1.0f);
         RowPartition part(x.rows(), cfg.numPes, cfg.mapPolicy);
-        SpmmStats stats;
-        SpmmEngine(cfg).run(x, w, TdqKind::Tdq1DenseScan, part, stats);
-        accumulate(out, stats);
-        out.utilization = stats.utilization;
+        SpmmResult r =
+            SpmmEngine(cfg).execute(x, w, TdqKind::Tdq1DenseScan, part);
+        accumulate(out, r.stats);
+        out.utilization = r.stats.utilization;
         break;
       }
       case SweepMode::SpmmTdq2: {
@@ -125,11 +138,35 @@ executeOnce(const SweepPoint &p, const SweepOptions &opts)
         DenseMatrix b(ds.spec.nodes, ds.spec.f2);
         b.fillUniform(rng, -1.0f, 1.0f);
         RowPartition part(ds.adjacency.rows(), cfg.numPes, cfg.mapPolicy);
-        SpmmStats stats;
-        SpmmEngine(cfg).run(ds.adjacency, b, TdqKind::Tdq2OmegaCsc, part,
-                            stats);
-        accumulate(out, stats);
-        out.utilization = stats.utilization;
+        SpmmResult r = SpmmEngine(cfg).execute(ds.adjacency, b,
+                                               TdqKind::Tdq2OmegaCsc, part);
+        accumulate(out, r.stats);
+        out.utilization = r.stats.utilization;
+        break;
+      }
+      case SweepMode::GraphSage: {
+        Dataset ds = loadSynthetic(spec, p.seed, opts.scale);
+        sim::WorkloadBundle w = sim::buildGraphSage(
+            ds, ds.spec.f2, ds.spec.f3, /*meanAggregate=*/true, p.seed);
+        sim::Session session(cfg);
+        accumulate(out, sim::runWorkload(session, std::move(w)));
+        break;
+      }
+      case SweepMode::Gin: {
+        Dataset ds = loadSynthetic(spec, p.seed, opts.scale);
+        sim::WorkloadBundle w =
+            sim::buildGin(ds, ds.spec.f2, ds.spec.f3, /*eps=*/0.1, p.seed);
+        sim::Session session(cfg);
+        accumulate(out, sim::runWorkload(session, std::move(w)));
+        break;
+      }
+      case SweepMode::KhopGcn: {
+        Dataset ds = loadSynthetic(spec, p.seed, opts.scale);
+        GcnModel model =
+            makeGcnModel(ds.spec.f1, ds.spec.f2, ds.spec.f3, p.seed);
+        sim::WorkloadBundle w = sim::buildMultiHopGcn(ds, model, 2);
+        sim::Session session(cfg);
+        accumulate(out, sim::runWorkload(session, std::move(w)));
         break;
       }
     }
@@ -155,6 +192,9 @@ sweepModeName(SweepMode m)
       case SweepMode::Cycle: return "cycle";
       case SweepMode::SpmmTdq1: return "tdq1";
       case SweepMode::SpmmTdq2: return "tdq2";
+      case SweepMode::GraphSage: return "graphsage";
+      case SweepMode::Gin: return "gin";
+      case SweepMode::KhopGcn: return "khop";
     }
     return "?";
 }
@@ -166,7 +206,11 @@ parseSweepMode(const std::string &s)
     if (s == "cycle") return SweepMode::Cycle;
     if (s == "tdq1") return SweepMode::SpmmTdq1;
     if (s == "tdq2") return SweepMode::SpmmTdq2;
-    fatal("unknown sweep mode '" + s + "' (model|cycle|tdq1|tdq2)");
+    if (s == "graphsage") return SweepMode::GraphSage;
+    if (s == "gin") return SweepMode::Gin;
+    if (s == "khop") return SweepMode::KhopGcn;
+    fatal("unknown sweep mode '" + s +
+          "' (model|cycle|tdq1|tdq2|graphsage|gin|khop)");
 }
 
 std::uint64_t

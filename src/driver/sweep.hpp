@@ -29,9 +29,12 @@ namespace awb::driver {
 enum class SweepMode
 {
     Model,     ///< round-level PerfModel, full 2-layer GCN (any scale)
-    Cycle,     ///< cycle-accurate GcnAccelerator, full 2-layer GCN
+    Cycle,     ///< cycle-accurate 2-layer GCN (sim::Session)
     SpmmTdq1,  ///< cycle-accurate single SPMM, TDQ-1 dense-scan path (X×W)
     SpmmTdq2,  ///< cycle-accurate single SPMM, TDQ-2 Omega path (A×B)
+    GraphSage, ///< cycle-accurate 2-layer GraphSAGE-mean workload graph
+    Gin,       ///< cycle-accurate 2-layer GIN workload graph
+    KhopGcn,   ///< cycle-accurate 2-hop GCN (A²(XW) chains, §3.3)
 };
 
 std::string sweepModeName(SweepMode m);

@@ -1,0 +1,221 @@
+#include "sim/factories.hpp"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "common/log.hpp"
+#include "common/rng.hpp"
+#include "sparse/convert.hpp"
+
+namespace awb::sim {
+
+namespace {
+
+DenseMatrix
+glorotUniform(Rng &rng, Index fan_in, Index fan_out)
+{
+    DenseMatrix w(fan_in, fan_out);
+    auto limit = static_cast<float>(
+        std::sqrt(6.0 / static_cast<double>(fan_in + fan_out)));
+    w.fillUniform(rng, -limit, limit);
+    return w;
+}
+
+std::string
+layerTag(Index l)
+{
+    return "L" + std::to_string(l + 1);
+}
+
+} // namespace
+
+CscMatrix
+rowNormalized(const CscMatrix &m)
+{
+    std::vector<Value> rowSum(static_cast<std::size_t>(m.rows()), Value(0));
+    for (std::size_t p = 0; p < m.val().size(); ++p)
+        rowSum[static_cast<std::size_t>(m.rowId()[p])] += m.val()[p];
+    std::vector<Value> val = m.val();
+    for (std::size_t p = 0; p < val.size(); ++p) {
+        Value s = rowSum[static_cast<std::size_t>(m.rowId()[p])];
+        if (s != Value(0)) val[p] /= s;
+    }
+    return CscMatrix::fromParts(m.rows(), m.cols(),
+                                std::vector<Count>(m.colPtr()),
+                                std::vector<Index>(m.rowId()),
+                                std::move(val));
+}
+
+WorkloadBundle
+buildMultiHopGcn(const Dataset &ds, const GcnModel &model, Index k)
+{
+    if (k < 1) fatal("buildMultiHopGcn: hop count must be >= 1");
+    if (ds.features.cols() != model.inDim(0))
+        fatal("buildMultiHopGcn: feature dim mismatch");
+
+    WorkloadBundle w;
+    w.name = k == 1 ? "gcn" : "gcn-" + std::to_string(k) + "hop";
+    w.sparse.emplace("A", ds.adjacency);
+    w.sparse.emplace("X0", csrToCsc(ds.features));
+
+    WorkloadBuilder b;
+    b.input("A");
+    TensorId h = b.input("X0");
+    for (Index l = 0; l < model.layers(); ++l) {
+        const std::string tag = layerTag(l);
+        const TensorId wName = "W" + std::to_string(l + 1);
+        w.dense.emplace(
+            wName, model.weights[static_cast<std::size_t>(l)]);
+        TensorId xw = b.spmm(h, b.input(wName), TdqKind::Tdq1DenseScan,
+                             tag + ".XW");
+        TensorId z = b.spmm("A", xw, TdqKind::Tdq2OmegaCsc,
+                            tag + ".A(XW)");
+        for (Index hop = 1; hop < k; ++hop)
+            z = b.spmm("A", z, TdqKind::Tdq2OmegaCsc,
+                       tag + ".A^" + std::to_string(hop + 1) + "(XW)");
+        bool last = (l == model.layers() - 1);
+        h = last ? z : b.relu(z, "H" + std::to_string(l + 1));
+    }
+    w.graph = b.build(h);
+    return w;
+}
+
+WorkloadBundle
+buildGcn(const Dataset &ds, const GcnModel &model)
+{
+    WorkloadBundle w = buildMultiHopGcn(ds, model, model.adjHops);
+    w.name = "gcn";
+    return w;
+}
+
+WorkloadBundle
+buildGraphSage(const Dataset &ds, Index hidden, Index out,
+               bool meanAggregate, std::uint64_t seed)
+{
+    WorkloadBundle w;
+    w.name = meanAggregate ? "graphsage-mean" : "graphsage-concat";
+    w.sparse.emplace("X0", csrToCsc(ds.features));
+    w.sparse.emplace(
+        "A", meanAggregate ? rowNormalized(ds.adjacency) : ds.adjacency);
+
+    Rng rng(seed ^ 0x5a9eULL);
+    const Index f1 = ds.features.cols();
+    w.dense.emplace("Wproj", glorotUniform(rng, f1, hidden));
+    const Index combDim = meanAggregate ? hidden : 2 * hidden;
+    w.dense.emplace("W1", glorotUniform(rng, combDim, hidden));
+    w.dense.emplace("W2", glorotUniform(rng, combDim, out));
+
+    WorkloadBuilder b;
+    b.input("A");
+    TensorId h = b.spmm(b.input("X0"), b.input("Wproj"),
+                        TdqKind::Tdq1DenseScan, "proj.XW", "H0");
+    for (int l = 0; l < 2; ++l) {
+        const std::string tag = layerTag(l);
+        TensorId agg = b.spmm("A", h, TdqKind::Tdq2OmegaCsc,
+                              tag + ".A(H)");
+        TensorId comb = meanAggregate ? b.mean(h, agg) : b.concat(h, agg);
+        TensorId z = b.denseMm(comb,
+                               b.input("W" + std::to_string(l + 1)),
+                               tag + ".CW");
+        h = l == 0 ? b.relu(z, "H1") : z;
+    }
+    w.graph = b.build(h);
+    return w;
+}
+
+WorkloadBundle
+buildGin(const Dataset &ds, Index hidden, Index out, double eps,
+         std::uint64_t seed)
+{
+    WorkloadBundle w;
+    w.name = "gin";
+    w.sparse.emplace("X0", csrToCsc(ds.features));
+    w.sparse.emplace("A", ds.adjacency);
+
+    Rng rng(seed ^ 0x61bULL);
+    const Index f1 = ds.features.cols();
+    w.dense.emplace("Wproj", glorotUniform(rng, f1, hidden));
+    w.dense.emplace("W1a", glorotUniform(rng, hidden, hidden));
+    w.dense.emplace("W1b", glorotUniform(rng, hidden, hidden));
+    w.dense.emplace("W2a", glorotUniform(rng, hidden, hidden));
+    w.dense.emplace("W2b", glorotUniform(rng, hidden, out));
+
+    WorkloadBuilder b;
+    b.input("A");
+    TensorId h = b.spmm(b.input("X0"), b.input("Wproj"),
+                        TdqKind::Tdq1DenseScan, "proj.XW", "H0");
+    for (int l = 0; l < 2; ++l) {
+        const std::string tag = layerTag(l);
+        const std::string ln = std::to_string(l + 1);
+        TensorId agg = b.spmm("A", h, TdqKind::Tdq2OmegaCsc,
+                              tag + ".A(H)");
+        // (1 + eps) * h + sum of neighbours.
+        TensorId comb = b.addScaled(agg, h, 1.0 + eps);
+        TensorId z1 = b.denseMm(comb, b.input("W" + ln + "a"),
+                                tag + ".MLP1");
+        TensorId r1 = b.relu(z1);
+        TensorId z2 = b.denseMm(r1, b.input("W" + ln + "b"),
+                                tag + ".MLP2");
+        h = l == 0 ? b.relu(z2, "H1") : z2;
+    }
+    w.graph = b.build(h);
+    return w;
+}
+
+SessionResult
+runWorkload(Session &session, const WorkloadBundle &bundle, StatsSink *sink)
+{
+    for (const auto &[name, m] : bundle.sparse)
+        session.bindSparse(name, m);
+    for (const auto &[name, m] : bundle.dense)
+        session.bindDense(name, m);
+    return session.run(bundle.graph, sink);
+}
+
+SessionResult
+runWorkload(Session &session, WorkloadBundle &&bundle, StatsSink *sink)
+{
+    for (auto &[name, m] : bundle.sparse)
+        session.bindSparse(name, std::move(m));
+    for (auto &[name, m] : bundle.dense)
+        session.bindDense(name, std::move(m));
+    return session.run(bundle.graph, sink);
+}
+
+DenseMatrix
+referenceEval(const WorkloadBundle &bundle)
+{
+    std::unordered_map<TensorId, DenseMatrix> env;
+    for (const auto &[name, m] : bundle.sparse)
+        env.emplace(name, cscToDense(m));
+    for (const auto &[name, m] : bundle.dense) env.emplace(name, m);
+
+    auto get = [&](const TensorId &name) -> const DenseMatrix & {
+        auto it = env.find(name);
+        if (it == env.end())
+            fatal("referenceEval: unbound tensor '" + name + "'");
+        return it->second;
+    };
+
+    for (std::size_t id : bundle.graph.schedule()) {
+        const WorkloadNode &n = bundle.graph.nodes()[id];
+        DenseMatrix out;
+        switch (n.kind) {
+          case OpKind::Spmm:
+          case OpKind::DenseMm:
+            out = multiply(get(n.a), get(n.b));
+            break;
+          case OpKind::Elementwise:
+            out = evalElementwise(n, get(n.a),
+                                  n.unary() ? nullptr : &get(n.b));
+            break;
+          case OpKind::Concat:
+            out = evalConcat(n, get(n.a), get(n.b));
+            break;
+        }
+        env.insert_or_assign(n.out, std::move(out));
+    }
+    return env.at(bundle.graph.output());
+}
+
+} // namespace awb::sim

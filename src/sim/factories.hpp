@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Workload factories: canned workload graphs plus their tensor bindings
+ * for the GNN families the accelerator can serve — the paper's GCN, k-hop
+ * GCN chains (§3.3), GraphSAGE aggregate-combine, and GIN sum-and-MLP.
+ * Each factory returns a self-contained WorkloadBundle; runWorkload()
+ * binds and executes it on a Session, and referenceEval() interprets the
+ * same graph with dense software kernels for functional validation.
+ *
+ * GraphSAGE and GIN start from a dense input projection h0 = X x W_proj
+ * (a TDQ-1 SPMM over the sparse feature matrix) so that Nell's 61278-wide
+ * feature matrix never has to be materialized densely.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "gcn/model.hpp"
+#include "graph/datasets.hpp"
+#include "sim/session.hpp"
+#include "sim/workload.hpp"
+
+namespace awb::sim {
+
+/** A workload graph together with the matrices its inputs bind to. */
+struct WorkloadBundle
+{
+    std::string name;  ///< e.g. "gcn", "graphsage-mean", "gin", "gcn-2hop"
+    WorkloadGraph graph;
+    std::map<TensorId, CscMatrix> sparse;
+    std::map<TensorId, DenseMatrix> dense;
+};
+
+/** The paper's multi-layer GCN: per layer X x W (TDQ-1) then A^hops x (XW)
+ *  (TDQ-2, chained/pipelined), ReLU between layers. Equivalent to the
+ *  legacy GcnAccelerator::run orchestration. */
+WorkloadBundle buildGcn(const Dataset &ds, const GcnModel &model);
+
+/** GCN whose layers aggregate over the k-hop neighbourhood: A^k (X W),
+ *  the k chained adjacency SPMMs column-pipelined (paper §3.3). */
+WorkloadBundle buildMultiHopGcn(const Dataset &ds, const GcnModel &model,
+                                Index k);
+
+/**
+ * Two-layer GraphSAGE on top of an input projection.
+ *
+ * meanAggregate = true:  h' = ReLU( mean(h, Am x h) x W )   with Am the
+ *   row-normalized adjacency (each row sums to 1: a weighted neighbour
+ *   mean), W of shape d_in x d_out;
+ * meanAggregate = false: h' = ReLU( concat(h, A x h) x W ) — the
+ *   sum-aggregate + concat-combine variant, W of shape 2*d_in x d_out.
+ */
+WorkloadBundle buildGraphSage(const Dataset &ds, Index hidden, Index out,
+                              bool meanAggregate, std::uint64_t seed = 1);
+
+/** Two GIN layers on top of an input projection:
+ *  h' = MLP( (1 + eps) * h + A x h ), MLP = W_a, ReLU, W_b. */
+WorkloadBundle buildGin(const Dataset &ds, Index hidden, Index out,
+                        double eps, std::uint64_t seed = 1);
+
+/** Bind the bundle's tensors into the session and run its graph. */
+SessionResult runWorkload(Session &session, const WorkloadBundle &bundle,
+                          StatsSink *sink = nullptr);
+
+/** Move overload for one-shot bundles: hands the matrices to the Session
+ *  instead of deep-copying adjacency/features/weights a second time. */
+SessionResult runWorkload(Session &session, WorkloadBundle &&bundle,
+                          StatsSink *sink = nullptr);
+
+/** Dense software interpretation of the bundle (the functional golden
+ *  model the Session result is validated against). */
+DenseMatrix referenceEval(const WorkloadBundle &bundle);
+
+/** Row-normalize a sparse matrix so every non-empty row sums to 1 (the
+ *  GraphSAGE mean-aggregation operand). */
+CscMatrix rowNormalized(const CscMatrix &m);
+
+} // namespace awb::sim

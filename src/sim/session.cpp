@@ -1,0 +1,194 @@
+#include "sim/session.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "accel/gcn_accel.hpp"
+#include "common/log.hpp"
+#include "sparse/convert.hpp"
+
+namespace awb::sim {
+
+Session::Session(const AccelConfig &cfg) : cfg_(cfg)
+{
+    std::string err = cfg.validate();
+    if (!err.empty()) fatal("Session: " + err);
+}
+
+void
+Session::bindSparse(const TensorId &name, CscMatrix m)
+{
+    // PE load depends only on the sparsity structure, so a rebind with
+    // the same structure (e.g. runWorkload called again on the same
+    // bundle) keeps the tuned row map; a structurally different operand
+    // starts untuned.
+    auto it = sparse_.find(name);
+    bool same_structure = it != sparse_.end() &&
+                          it->second.rows() == m.rows() &&
+                          it->second.cols() == m.cols() &&
+                          it->second.colPtr() == m.colPtr() &&
+                          it->second.rowId() == m.rowId();
+    if (!same_structure) rowMaps_.erase(name);
+    sparse_.insert_or_assign(name, std::move(m));
+}
+
+void
+Session::bindSparse(const TensorId &name, const CsrMatrix &m)
+{
+    bindSparse(name, csrToCsc(m));
+}
+
+void
+Session::bindDense(const TensorId &name, DenseMatrix m)
+{
+    dense_.insert_or_assign(name, std::move(m));
+}
+
+const RowPartition *
+Session::rowMap(const TensorId &name) const
+{
+    auto it = rowMaps_.find(name);
+    return it == rowMaps_.end() ? nullptr : &it->second;
+}
+
+SessionResult
+Session::run(const WorkloadGraph &graph, StatsSink *sink)
+{
+    std::vector<std::size_t> order = graph.schedule();
+
+    // Per-run tensor environment: produced dense tensors, plus CSC
+    // conversions of produced tensors used as sparse operands.
+    std::unordered_map<TensorId, DenseMatrix> env;
+    std::unordered_map<TensorId, CscMatrix> cscCache;
+
+    auto denseOf = [&](const TensorId &name) -> const DenseMatrix & {
+        auto it = env.find(name);
+        if (it != env.end()) return it->second;
+        auto bound = dense_.find(name);
+        if (bound != dense_.end()) return bound->second;
+        auto sp = sparse_.find(name);
+        if (sp != sparse_.end()) {
+            // Rare: a sparse-bound tensor consumed densely (e.g. as the
+            // streamed operand of a chain head). Materialize once.
+            return env.emplace(name, cscToDense(sp->second)).first->second;
+        }
+        fatal("Session: tensor '" + name + "' is not bound or produced");
+    };
+
+    auto sparseOf = [&](const TensorId &name) -> const CscMatrix & {
+        auto bound = sparse_.find(name);
+        if (bound != sparse_.end()) return bound->second;
+        auto cached = cscCache.find(name);
+        if (cached != cscCache.end()) return cached->second;
+        auto it = env.find(name);
+        if (it != env.end())
+            return cscCache.emplace(name, denseToCsc(it->second))
+                .first->second;
+        auto dbound = dense_.find(name);  // dense-bound left operand
+        if (dbound != dense_.end())
+            return cscCache.emplace(name, denseToCsc(dbound->second))
+                .first->second;
+        fatal("Session: sparse operand '" + name + "' is not bound or produced");
+    };
+
+    SessionResult res;
+    SpmmEngine engine(cfg_);
+
+    // Only sparse-bound operands (stable across run() calls, e.g. the
+    // adjacency) carry their tuned row maps in the Session; maps for
+    // produced or dense-bound left operands live for this run only —
+    // their content (and possibly shape) changes between runs/graphs.
+    std::map<TensorId, RowPartition> localMaps;
+
+    // Chain tracking: the open chain's nodeStats indices and the tensor
+    // its tail produced.
+    ChainStats chain;
+    TensorId chainTail;
+    auto flushChain = [&]() {
+        if (chain.stages.empty()) return;
+        std::vector<const std::vector<Cycle> *> stages;
+        stages.reserve(chain.stages.size());
+        for (std::size_t s : chain.stages)
+            stages.push_back(&res.nodeStats[s].roundCycles);
+        chain.pipelinedCycles = pipelineCyclesMulti(stages);
+        chain.serialCycles = 0;
+        for (std::size_t s : chain.stages)
+            chain.serialCycles += res.nodeStats[s].cycles;
+        res.totalCycles += chain.pipelinedCycles;
+        if (sink) sink->onChain(chain);
+        res.chains.push_back(std::move(chain));
+        chain = ChainStats{};
+        chainTail.clear();
+    };
+
+    for (std::size_t id : order) {
+        const WorkloadNode &n = graph.nodes()[id];
+        switch (n.kind) {
+          case OpKind::Spmm:
+          case OpKind::DenseMm: {
+            const CscMatrix &a = sparseOf(n.a);
+            const DenseMatrix &b = denseOf(n.b);
+            auto &maps = sparse_.count(n.a) ? rowMaps_ : localMaps;
+            auto [mapIt, fresh] = maps.try_emplace(
+                n.a, a.rows(), cfg_.numPes, cfg_.mapPolicy);
+            if (!fresh && mapIt->second.rows() != a.rows())
+                fatal("Session: sparse operand '" + n.a +
+                      "' changed row count; rebind it under a new name");
+            SpmmResult r = engine.execute(a, b, n.tdq, mapIt->second);
+            r.stats.label = n.label.empty() ? n.out : n.label;
+
+            // A node extends the open chain when it streams the chain
+            // tail's output as its dense operand — column k of the tail
+            // feeds stage k+1 as soon as it completes (Fig. 8). A
+            // mismatched round count (re-tiled operand) breaks the chain.
+            bool extends = !chain.stages.empty() && n.b == chainTail &&
+                           res.nodeStats[chain.stages.back()]
+                                   .roundCycles.size() ==
+                               r.stats.roundCycles.size();
+            if (!extends) flushChain();
+
+            res.totalCyclesSerial += r.stats.cycles;
+            res.totalTasks += r.stats.tasks;
+            res.nodeIds.push_back(id);
+            res.nodeStats.push_back(std::move(r.stats));
+            chain.stages.push_back(res.nodeStats.size() - 1);
+            chainTail = n.out;
+            if (sink) sink->onNode(n, res.nodeStats.back());
+            env.insert_or_assign(n.out, std::move(r.c));
+            break;
+          }
+          case OpKind::Elementwise: {
+            flushChain();
+            const DenseMatrix &a = denseOf(n.a);
+            const DenseMatrix *b2 = n.unary() ? nullptr : &denseOf(n.b);
+            env.insert_or_assign(n.out, evalElementwise(n, a, b2));
+            break;
+          }
+          case OpKind::Concat: {
+            flushChain();
+            env.insert_or_assign(n.out,
+                                 evalConcat(n, denseOf(n.a), denseOf(n.b)));
+            break;
+          }
+        }
+    }
+    flushChain();
+
+    const int P = cfg_.numPes;
+    res.utilization = res.totalCyclesSerial > 0
+        ? static_cast<double>(res.totalTasks) /
+          (static_cast<double>(P) *
+           static_cast<double>(res.totalCyclesSerial))
+        : 0.0;
+
+    auto outIt = env.find(graph.output());
+    if (outIt != env.end()) {
+        res.output = std::move(outIt->second);
+    } else {
+        res.output = denseOf(graph.output());  // output is a bound tensor
+    }
+    if (sink) sink->onRunComplete(res);
+    return res;
+}
+
+} // namespace awb::sim

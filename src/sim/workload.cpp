@@ -1,0 +1,284 @@
+#include "sim/workload.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/log.hpp"
+
+namespace awb::sim {
+
+namespace {
+
+const char *
+opKindName(OpKind k)
+{
+    switch (k) {
+      case OpKind::Spmm:        return "Spmm";
+      case OpKind::DenseMm:     return "DenseMm";
+      case OpKind::Elementwise: return "Elementwise";
+      case OpKind::Concat:      return "Concat";
+    }
+    return "?";
+}
+
+} // namespace
+
+std::string
+WorkloadGraph::validate() const
+{
+    std::unordered_set<TensorId> known(inputs_.begin(), inputs_.end());
+    std::unordered_set<TensorId> produced;
+    for (const auto &n : nodes_) {
+        if (n.out.empty())
+            return std::string(opKindName(n.kind)) + " node has no output tensor";
+        if (!produced.insert(n.out).second)
+            return "tensor '" + n.out + "' is produced by more than one node";
+        if (known.count(n.out))
+            return "tensor '" + n.out + "' is both an input and a node output";
+        if (n.a.empty())
+            return "node '" + n.out + "' has no first input";
+        if (n.unary() && !n.b.empty())
+            return "ReLU node '" + n.out + "' must have exactly one input";
+        if (!n.unary() && n.b.empty())
+            return std::string(opKindName(n.kind)) + " node '" + n.out +
+                   "' needs a second input";
+    }
+    // Unknown tensors: everything referenced must be an input or produced.
+    for (const auto &n : nodes_) {
+        for (const TensorId *t : {&n.a, &n.b}) {
+            if (t->empty()) continue;
+            if (!known.count(*t) && !produced.count(*t))
+                return "node '" + n.out + "' references unbound tensor '" +
+                       *t + "'";
+        }
+    }
+    if (output_.empty()) return "graph has no output tensor";
+    if (!known.count(output_) && !produced.count(output_))
+        return "output tensor '" + output_ + "' is never produced";
+
+    // Acyclicity: Kahn over producer edges; leftovers mean a cycle.
+    std::unordered_map<TensorId, std::size_t> producer;
+    for (std::size_t i = 0; i < nodes_.size(); ++i)
+        producer[nodes_[i].out] = i;
+    std::vector<int> indeg(nodes_.size(), 0);
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+        for (const TensorId *t : {&nodes_[i].a, &nodes_[i].b}) {
+            if (!t->empty() && producer.count(*t)) ++indeg[i];
+        }
+    }
+    std::vector<std::size_t> ready;
+    for (std::size_t i = 0; i < nodes_.size(); ++i)
+        if (indeg[i] == 0) ready.push_back(i);
+    std::size_t seen = 0;
+    while (!ready.empty()) {
+        std::size_t i = ready.back();
+        ready.pop_back();
+        ++seen;
+        for (std::size_t j = 0; j < nodes_.size(); ++j) {
+            for (const TensorId *t : {&nodes_[j].a, &nodes_[j].b}) {
+                if (!t->empty() && producer.count(*t) &&
+                    producer.at(*t) == i && --indeg[j] == 0)
+                    ready.push_back(j);
+            }
+        }
+    }
+    if (seen != nodes_.size()) return "workload graph contains a cycle";
+    return "";
+}
+
+std::vector<std::size_t>
+WorkloadGraph::schedule() const
+{
+    std::string err = validate();
+    if (!err.empty()) fatal("workload graph: " + err);
+
+    std::unordered_map<TensorId, std::size_t> producer;
+    for (std::size_t i = 0; i < nodes_.size(); ++i)
+        producer[nodes_[i].out] = i;
+
+    std::vector<int> indeg(nodes_.size(), 0);
+    std::vector<std::vector<std::size_t>> consumers(nodes_.size());
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+        for (const TensorId *t : {&nodes_[i].a, &nodes_[i].b}) {
+            if (t->empty()) continue;
+            auto it = producer.find(*t);
+            if (it != producer.end()) {
+                ++indeg[i];
+                consumers[it->second].push_back(i);
+            }
+        }
+    }
+
+    // Min-heap on insertion index keeps the order deterministic and equal
+    // to the authoring order whenever that order is already topological.
+    std::vector<std::size_t> frontier;
+    for (std::size_t i = 0; i < nodes_.size(); ++i)
+        if (indeg[i] == 0) frontier.push_back(i);
+    std::make_heap(frontier.begin(), frontier.end(),
+                   std::greater<std::size_t>());
+
+    std::vector<std::size_t> order;
+    order.reserve(nodes_.size());
+    while (!frontier.empty()) {
+        std::pop_heap(frontier.begin(), frontier.end(),
+                      std::greater<std::size_t>());
+        std::size_t i = frontier.back();
+        frontier.pop_back();
+        order.push_back(i);
+        for (std::size_t j : consumers[i]) {
+            if (--indeg[j] == 0) {
+                frontier.push_back(j);
+                std::push_heap(frontier.begin(), frontier.end(),
+                               std::greater<std::size_t>());
+            }
+        }
+    }
+    return order;
+}
+
+DenseMatrix
+evalElementwise(const WorkloadNode &node, const DenseMatrix &a,
+                const DenseMatrix *b)
+{
+    if (node.ew == EwKind::Relu) {
+        DenseMatrix out = a;
+        out.relu();
+        return out;
+    }
+    if (b == nullptr || !a.sameShape(*b))
+        fatal("elementwise node '" + node.out +
+              "' has mismatched input shapes");
+    DenseMatrix out(a.rows(), a.cols());
+    const bool is_mean = node.ew == EwKind::Mean;
+    const auto alpha = static_cast<Value>(node.alpha);
+    for (Index r = 0; r < a.rows(); ++r) {
+        for (Index c = 0; c < a.cols(); ++c) {
+            out.at(r, c) = is_mean
+                ? (a.at(r, c) + b->at(r, c)) / Value(2)
+                : a.at(r, c) + alpha * b->at(r, c);
+        }
+    }
+    return out;
+}
+
+DenseMatrix
+evalConcat(const WorkloadNode &node, const DenseMatrix &a,
+           const DenseMatrix &b)
+{
+    if (a.rows() != b.rows())
+        fatal("concat node '" + node.out + "' has mismatched row counts");
+    DenseMatrix out(a.rows(), a.cols() + b.cols());
+    for (Index r = 0; r < a.rows(); ++r) {
+        for (Index c = 0; c < a.cols(); ++c)
+            out.at(r, c) = a.at(r, c);
+        for (Index c = 0; c < b.cols(); ++c)
+            out.at(r, a.cols() + c) = b.at(r, c);
+    }
+    return out;
+}
+
+TensorId
+WorkloadBuilder::input(const TensorId &name)
+{
+    if (name.empty()) fatal("workload input needs a name");
+    if (std::find(inputs_.begin(), inputs_.end(), name) == inputs_.end())
+        inputs_.push_back(name);
+    return name;
+}
+
+TensorId
+WorkloadBuilder::emit(WorkloadNode node, const TensorId &out,
+                      const char *stem)
+{
+    node.out = out.empty()
+        ? "%" + std::string(stem) + std::to_string(autoNames_++)
+        : out;
+    if (node.label.empty()) node.label = node.out;
+    nodes_.push_back(std::move(node));
+    return nodes_.back().out;
+}
+
+TensorId
+WorkloadBuilder::spmm(const TensorId &sparse, const TensorId &dense,
+                      TdqKind tdq, const std::string &label,
+                      const TensorId &out)
+{
+    WorkloadNode n;
+    n.kind = OpKind::Spmm;
+    n.a = sparse;
+    n.b = dense;
+    n.tdq = tdq;
+    n.label = label;
+    return emit(std::move(n), out, "spmm");
+}
+
+TensorId
+WorkloadBuilder::denseMm(const TensorId &a, const TensorId &b,
+                         const std::string &label, const TensorId &out)
+{
+    WorkloadNode n;
+    n.kind = OpKind::DenseMm;
+    n.a = a;
+    n.b = b;
+    n.tdq = TdqKind::Tdq1DenseScan;
+    n.label = label;
+    return emit(std::move(n), out, "mm");
+}
+
+TensorId
+WorkloadBuilder::relu(const TensorId &a, const TensorId &out)
+{
+    WorkloadNode n;
+    n.kind = OpKind::Elementwise;
+    n.ew = EwKind::Relu;
+    n.a = a;
+    return emit(std::move(n), out, "relu");
+}
+
+TensorId
+WorkloadBuilder::addScaled(const TensorId &a, const TensorId &b,
+                           double alpha, const TensorId &out)
+{
+    WorkloadNode n;
+    n.kind = OpKind::Elementwise;
+    n.ew = EwKind::AddScaled;
+    n.a = a;
+    n.b = b;
+    n.alpha = alpha;
+    return emit(std::move(n), out, "add");
+}
+
+TensorId
+WorkloadBuilder::mean(const TensorId &a, const TensorId &b,
+                      const TensorId &out)
+{
+    WorkloadNode n;
+    n.kind = OpKind::Elementwise;
+    n.ew = EwKind::Mean;
+    n.a = a;
+    n.b = b;
+    return emit(std::move(n), out, "mean");
+}
+
+TensorId
+WorkloadBuilder::concat(const TensorId &a, const TensorId &b,
+                        const TensorId &out)
+{
+    WorkloadNode n;
+    n.kind = OpKind::Concat;
+    n.a = a;
+    n.b = b;
+    return emit(std::move(n), out, "cat");
+}
+
+WorkloadGraph
+WorkloadBuilder::build(const TensorId &output) const
+{
+    WorkloadGraph g(nodes_, inputs_, output);
+    std::string err = g.validate();
+    if (!err.empty()) fatal("WorkloadBuilder::build: " + err);
+    return g;
+}
+
+} // namespace awb::sim

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Workload-graph IR: a value-semantics DAG of typed tensor operations
+ * describing an arbitrary SPMM pipeline (GCN layers, GraphSAGE
+ * aggregate-combine, GIN sum-and-MLP, k-hop chains, ...). Nodes name
+ * their input/output tensors; a Session (session.hpp) binds the named
+ * inputs to matrices, topologically schedules the nodes and executes
+ * the costed ones on the cycle-accurate SpmmEngine.
+ *
+ * The IR is deliberately small: four node kinds cover every workload the
+ * paper's hardware can express.
+ *
+ *  - Spmm      C = S x B, S a named sparse operand routed through TDQ-1
+ *              (dense-stored scan) or TDQ-2 (CSC through the Omega net)
+ *  - DenseMm   C = A x W with a produced dense A; executed as a TDQ-1
+ *              SPMM over the zero-skipped dense-stored A (exactly how the
+ *              hardware runs X(l) x W(l) for l >= 2)
+ *  - Elementwise  ReLU (unary), AddScaled out = a + alpha*b, Mean
+ *              out = (a+b)/2; free in the cycle model, like the inline
+ *              ReLU units of the accelerator datapath
+ *  - Concat    column-wise concatenation (GraphSAGE combine); free
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "accel/spmm_engine.hpp"
+
+namespace awb::sim {
+
+/** Tensors are referenced by name; the name is also the key under which a
+ *  Session carries the tuned RowPartition of a sparse operand. */
+using TensorId = std::string;
+
+/** Node kinds of the workload IR. */
+enum class OpKind
+{
+    Spmm,         ///< sparse x dense through a TDQ path (costed)
+    DenseMm,      ///< produced-dense x dense, zero-skipping TDQ-1 (costed)
+    Elementwise,  ///< ReLU / AddScaled / Mean (free)
+    Concat,       ///< column-wise concatenation (free)
+};
+
+/** Elementwise operator selection. */
+enum class EwKind
+{
+    Relu,       ///< out = max(a, 0)            (unary)
+    AddScaled,  ///< out = a + alpha * b        (binary)
+    Mean,       ///< out = (a + b) / 2          (binary)
+};
+
+/** One operation over named tensors. */
+struct WorkloadNode
+{
+    OpKind kind = OpKind::Spmm;
+    TensorId out;  ///< produced tensor (unique across the graph)
+    /** Spmm: the sparse operand; DenseMm: the produced dense left matrix;
+     *  Elementwise/Concat: first input. */
+    TensorId a;
+    /** Spmm/DenseMm: the dense operand streamed column by column;
+     *  binary Elementwise/Concat: second input. Empty for ReLU. */
+    TensorId b;
+    TdqKind tdq = TdqKind::Tdq2OmegaCsc;  ///< Spmm distribution path
+    EwKind ew = EwKind::Relu;
+    double alpha = 1.0;  ///< AddScaled coefficient
+    std::string label;   ///< stats label; defaults to `out`
+
+    /** True when the node runs on the SpmmEngine and produces SpmmStats. */
+    bool costed() const { return kind == OpKind::Spmm || kind == OpKind::DenseMm; }
+
+    /** True for single-input nodes. */
+    bool unary() const { return kind == OpKind::Elementwise && ew == EwKind::Relu; }
+};
+
+/**
+ * An immutable workload DAG. Nodes may be stored in any order; schedule()
+ * returns a deterministic topological order (Kahn's algorithm with
+ * insertion-index tie-break) and validate() reports structural errors as
+ * text instead of asserting.
+ */
+class WorkloadGraph
+{
+  public:
+    WorkloadGraph() = default;
+    WorkloadGraph(std::vector<WorkloadNode> nodes,
+                  std::vector<TensorId> inputs, TensorId output)
+        : nodes_(std::move(nodes)), inputs_(std::move(inputs)),
+          output_(std::move(output))
+    {}
+
+    const std::vector<WorkloadNode> &nodes() const { return nodes_; }
+    const std::vector<TensorId> &inputs() const { return inputs_; }
+    const TensorId &output() const { return output_; }
+
+    /**
+     * Structural validation: every referenced tensor is an input or is
+     * produced exactly once, arities match the node kind, the output
+     * tensor exists, and the graph is acyclic. Returns an empty string
+     * when well-formed, else a descriptive error.
+     */
+    std::string validate() const;
+
+    /** Topological execution order (node indices). fatal() on a graph
+     *  that does not validate. */
+    std::vector<std::size_t> schedule() const;
+
+  private:
+    std::vector<WorkloadNode> nodes_;
+    std::vector<TensorId> inputs_;
+    TensorId output_;
+};
+
+/**
+ * Dense semantics of an Elementwise node — the single definition shared
+ * by the Session executor and the referenceEval interpreter (only the
+ * costed Spmm/DenseMm paths differ between them). `b` is ignored for
+ * unary nodes; fatal() on shape mismatch.
+ */
+DenseMatrix evalElementwise(const WorkloadNode &node, const DenseMatrix &a,
+                            const DenseMatrix *b);
+
+/** Dense semantics of a Concat node (column-wise); fatal() on mismatched
+ *  row counts. Shared like evalElementwise. */
+DenseMatrix evalConcat(const WorkloadNode &node, const DenseMatrix &a,
+                       const DenseMatrix &b);
+
+/**
+ * Fluent construction of a WorkloadGraph. Methods return the produced
+ * tensor's name so pipelines compose naturally:
+ *
+ *   WorkloadBuilder b;
+ *   auto x  = b.input("X");
+ *   auto xw = b.spmm(x, b.input("W1"), TdqKind::Tdq1DenseScan, "L1.XW");
+ *   auto z  = b.spmm(b.input("A"), xw, TdqKind::Tdq2OmegaCsc, "L1.A(XW)");
+ *   WorkloadGraph g = b.build(b.relu(z));
+ */
+class WorkloadBuilder
+{
+  public:
+    /** Declare an externally bound tensor; idempotent per name. */
+    TensorId input(const TensorId &name);
+
+    /** Sparse x dense SPMM through the given TDQ path. */
+    TensorId spmm(const TensorId &sparse, const TensorId &dense,
+                  TdqKind tdq, const std::string &label = "",
+                  const TensorId &out = "");
+
+    /** Produced-dense x dense matrix multiply (zero-skipping TDQ-1). */
+    TensorId denseMm(const TensorId &a, const TensorId &b,
+                     const std::string &label = "",
+                     const TensorId &out = "");
+
+    TensorId relu(const TensorId &a, const TensorId &out = "");
+    TensorId addScaled(const TensorId &a, const TensorId &b, double alpha,
+                       const TensorId &out = "");
+    TensorId mean(const TensorId &a, const TensorId &b,
+                  const TensorId &out = "");
+    TensorId concat(const TensorId &a, const TensorId &b,
+                    const TensorId &out = "");
+
+    /** Finalize with the given output tensor; fatal() if the graph does
+     *  not validate. The builder may be reused afterwards. */
+    WorkloadGraph build(const TensorId &output) const;
+
+  private:
+    TensorId emit(WorkloadNode node, const TensorId &out, const char *stem);
+
+    std::vector<WorkloadNode> nodes_;
+    std::vector<TensorId> inputs_;
+    int autoNames_ = 0;
+};
+
+} // namespace awb::sim

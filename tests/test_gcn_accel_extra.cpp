@@ -58,8 +58,7 @@ TEST(MultiHop, AcceleratorMatchesReference)
     auto model = makeGcnModel(ds.spec.f1, ds.spec.f2, ds.spec.f3, 6);
     model.adjHops = 2;
 
-    GcnAccelerator accel(makeConfig(Design::RemoteD, 16));
-    auto run = accel.run(ds, model);
+    auto run = runGcn(makeConfig(Design::RemoteD, 16), ds, model);
     auto golden = inferGcn(ds, model);
 
     EXPECT_LT(run.output.maxAbsDiff(golden.output), 1e-3);
@@ -76,8 +75,7 @@ TEST(DeepGcn, FourLayerAcceleratorMatchesReference)
     auto ds = loadSyntheticByName("citeseer", 7, 0.02);
     auto model = makeDeepGcnModel({ds.spec.f1, 32, 24, 16, ds.spec.f3}, 7);
 
-    GcnAccelerator accel(makeConfig(Design::LocalB, 16));
-    auto run = accel.run(ds, model);
+    auto run = runGcn(makeConfig(Design::LocalB, 16), ds, model);
     auto golden = inferGcn(ds, model);
 
     ASSERT_EQ(run.layers.size(), 4u);
@@ -98,10 +96,10 @@ TEST_P(AccelDatasetSweep, ExactAcrossDatasetsAndDesigns)
     auto ds = loadSynthetic(spec, 8, scale);
     auto model = makeGcnModel(ds.spec.f1, ds.spec.f2, ds.spec.f3, 8);
 
-    GcnAccelerator accel(makeConfig(design, 16, spec.hopOverride > 0
-                                                    ? spec.hopOverride
-                                                    : 1));
-    auto run = accel.run(ds, model);
+    auto run = runGcn(makeConfig(design, 16, spec.hopOverride > 0
+                                                     ? spec.hopOverride
+                                                     : 1),
+                      ds, model);
     auto golden = inferGcn(ds, model);
 
     EXPECT_LT(run.output.maxAbsDiff(golden.output), 2e-3);
@@ -126,8 +124,7 @@ TEST(BoundedQueues, BackpressureStillExact)
     AccelConfig cfg = makeConfig(Design::LocalA, 16);
     cfg.queueDepth = 2;
     cfg.omegaBufferDepth = 1;
-    GcnAccelerator accel(cfg);
-    auto run = accel.run(ds, model);
+    auto run = runGcn(cfg, ds, model);
     auto golden = inferGcn(ds, model);
     EXPECT_LT(run.output.maxAbsDiff(golden.output), 1e-3);
 
@@ -149,8 +146,8 @@ TEST(BoundedQueues, SlowerThanUnbounded)
     tight.networkSpeedup = 1;
     AccelConfig roomy = makeConfig(Design::Baseline, 16);
 
-    auto run_tight = GcnAccelerator(tight).run(ds, model);
-    auto run_roomy = GcnAccelerator(roomy).run(ds, model);
+    auto run_tight = runGcn(tight, ds, model);
+    auto run_roomy = runGcn(roomy, ds, model);
     EXPECT_GT(run_tight.totalCycles, run_roomy.totalCycles);
 }
 
@@ -163,9 +160,10 @@ TEST(StatsInvariants, RoundCyclesSumToTotal)
 
     AccelConfig cfg = makeConfig(Design::RemoteC, 16);
     RowPartition part(ds.spec.nodes, 16, cfg.mapPolicy);
-    SpmmStats stats;
-    SpmmEngine(cfg).run(ds.adjacency, b, TdqKind::Tdq2OmegaCsc, part,
-                        stats);
+    SpmmStats stats = SpmmEngine(cfg)
+                          .execute(ds.adjacency, b,
+                                   TdqKind::Tdq2OmegaCsc, part)
+                          .stats;
 
     Cycle sum = std::accumulate(stats.roundCycles.begin(),
                                 stats.roundCycles.end(), Cycle(0));
@@ -185,9 +183,10 @@ TEST(StatsInvariants, UtilizationIdentity)
 
     AccelConfig cfg = makeConfig(Design::Baseline, 8);
     RowPartition part(ds.spec.nodes, 8, cfg.mapPolicy);
-    SpmmStats stats;
-    SpmmEngine(cfg).run(ds.adjacency, b, TdqKind::Tdq2OmegaCsc, part,
-                        stats);
+    SpmmStats stats = SpmmEngine(cfg)
+                          .execute(ds.adjacency, b,
+                                   TdqKind::Tdq2OmegaCsc, part)
+                          .stats;
     double expect = static_cast<double>(stats.tasks) /
                     (8.0 * static_cast<double>(stats.cycles));
     EXPECT_NEAR(stats.utilization, expect, 1e-12);
@@ -198,10 +197,8 @@ TEST(EieLike, FunctionalAndComparableToBaseline)
     auto ds = loadSyntheticByName("pubmed", 12, 0.02);
     auto model = makeGcnModel(ds.spec.f1, ds.spec.f2, ds.spec.f3, 12);
 
-    auto run_eie = GcnAccelerator(makeConfig(Design::EieLike, 16)).run(
-        ds, model);
-    auto run_base = GcnAccelerator(makeConfig(Design::Baseline, 16)).run(
-        ds, model);
+    auto run_eie = runGcn(makeConfig(Design::EieLike, 16), ds, model);
+    auto run_base = runGcn(makeConfig(Design::Baseline, 16), ds, model);
     EXPECT_LT(run_eie.output.maxAbsDiff(run_base.output), 1e-3);
     // Table 3: EIE-like and baseline land within ~10% of each other.
     double ratio = static_cast<double>(run_eie.totalCycles) /
@@ -219,8 +216,8 @@ TEST(CyclicMap, FunctionalAndDeclustersNell)
     AccelConfig cyclic = makeConfig(Design::Baseline, 16);
     cyclic.mapPolicy = RowMapPolicy::Cyclic;
 
-    auto run_b = GcnAccelerator(blocked).run(ds, model);
-    auto run_c = GcnAccelerator(cyclic).run(ds, model);
+    auto run_b = runGcn(blocked, ds, model);
+    auto run_c = runGcn(cyclic, ds, model);
     EXPECT_LT(run_c.output.maxAbsDiff(run_b.output), 1e-3);
     // Interleaving spreads the clustered band across PEs statically.
     EXPECT_LT(run_c.totalCycles, run_b.totalCycles);
@@ -233,8 +230,7 @@ TEST(AdjacencyMapReuse, SecondLayerBenefitsFromTunedMap)
     // not be slower per round than layer 1's late rounds.
     auto ds = loadSyntheticByName("nell", 14, 0.03);
     auto model = makeGcnModel(ds.spec.f1, ds.spec.f2, ds.spec.f3, 14);
-    GcnAccelerator accel(makeConfig(Design::RemoteD, 16, 2));
-    auto run = accel.run(ds, model);
+    auto run = runGcn(makeConfig(Design::RemoteD, 16, 2), ds, model);
 
     ASSERT_FALSE(run.layers[0].ax.roundCycles.empty());
     ASSERT_FALSE(run.layers[1].ax.roundCycles.empty());

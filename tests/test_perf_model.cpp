@@ -90,8 +90,9 @@ runBoth(Design design, const char *dataset, double scale, int pes,
     FidelityPair out;
     {
         RowPartition part(ds.spec.nodes, pes, cfg.mapPolicy);
-        SpmmEngine(cfg).run(ds.adjacency, b, TdqKind::Tdq2OmegaCsc, part,
-                            out.cyc);
+        out.cyc = SpmmEngine(cfg)
+                      .execute(ds.adjacency, b, TdqKind::Tdq2OmegaCsc, part)
+                      .stats;
     }
     {
         RowPartition part(ds.spec.nodes, pes, cfg.mapPolicy);

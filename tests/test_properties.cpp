@@ -136,8 +136,7 @@ TEST_P(EngineKnobs, FunctionalUnderAllKnobs)
         AccelConfig cfg = makeConfig(Design::RemoteD, 8);
         kc.apply(cfg);
         RowPartition part(60, 8, cfg.mapPolicy);
-        SpmmStats stats;
-        auto c = SpmmEngine(cfg).run(a, b, kind, part, stats);
+        auto [c, stats] = SpmmEngine(cfg).execute(a, b, kind, part);
         EXPECT_LT(golden.maxAbsDiff(c), 1e-4)
             << kc.name << " kind=" << static_cast<int>(kind);
         EXPECT_EQ(stats.tasks, a.nnz() * 5) << kc.name;

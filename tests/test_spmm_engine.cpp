@@ -76,9 +76,7 @@ TEST_P(EngineFunctional, MatchesReferenceSpmm)
 
     AccelConfig cfg = makeConfig(design, 8);
     RowPartition part(m, cfg.numPes, cfg.mapPolicy);
-    SpmmEngine engine(cfg);
-    SpmmStats stats;
-    auto c = engine.run(a, b, kind, part, stats);
+    auto [c, stats] = SpmmEngine(cfg).execute(a, b, kind, part);
 
     auto golden = spmmCsc(a, b);
     EXPECT_LT(golden.maxAbsDiff(c), 1e-4);
@@ -104,9 +102,8 @@ TEST(Engine, IdealCyclesLowerBound)
     auto b = randomDense(rng, 64, 4);
     AccelConfig cfg = makeConfig(Design::Baseline, 8);
     RowPartition part(64, 8, cfg.mapPolicy);
-    SpmmEngine engine(cfg);
-    SpmmStats stats;
-    engine.run(a, b, TdqKind::Tdq2OmegaCsc, part, stats);
+    SpmmStats stats =
+        SpmmEngine(cfg).execute(a, b, TdqKind::Tdq2OmegaCsc, part).stats;
     EXPECT_GE(stats.cycles, stats.idealCycles);
     EXPECT_EQ(stats.syncCycles, stats.cycles - stats.idealCycles);
 }
@@ -121,13 +118,16 @@ TEST(Engine, LocalSharingImprovesSkewedUtilization)
     {
         AccelConfig cfg = makeConfig(Design::Baseline, 16);
         RowPartition part(128, 16, cfg.mapPolicy);
-        SpmmEngine(cfg).run(a, b, TdqKind::Tdq2OmegaCsc, part, base_stats);
+        base_stats =
+            SpmmEngine(cfg).execute(a, b, TdqKind::Tdq2OmegaCsc, part)
+                .stats;
     }
     {
         AccelConfig cfg = makeConfig(Design::LocalB, 16);
         RowPartition part(128, 16, cfg.mapPolicy);
-        SpmmEngine(cfg).run(a, b, TdqKind::Tdq2OmegaCsc, part,
-                            shared_stats);
+        shared_stats =
+            SpmmEngine(cfg).execute(a, b, TdqKind::Tdq2OmegaCsc, part)
+                .stats;
     }
     EXPECT_GT(shared_stats.utilization, base_stats.utilization);
     EXPECT_LT(shared_stats.cycles, base_stats.cycles);
@@ -152,13 +152,16 @@ TEST(Engine, RemoteSwitchingBeatsLocalOnlyOnClusteredRows)
     {
         AccelConfig cfg = makeConfig(Design::LocalA, 16);
         RowPartition part(128, 16, cfg.mapPolicy);
-        SpmmEngine(cfg).run(a, b, TdqKind::Tdq2OmegaCsc, part, local_stats);
+        local_stats =
+            SpmmEngine(cfg).execute(a, b, TdqKind::Tdq2OmegaCsc, part)
+                .stats;
     }
     {
         AccelConfig cfg = makeConfig(Design::RemoteC, 16);
         RowPartition part(128, 16, cfg.mapPolicy);
-        SpmmEngine(cfg).run(a, b, TdqKind::Tdq2OmegaCsc, part,
-                            remote_stats);
+        remote_stats =
+            SpmmEngine(cfg).execute(a, b, TdqKind::Tdq2OmegaCsc, part)
+                .stats;
     }
     EXPECT_LT(remote_stats.cycles, local_stats.cycles);
     EXPECT_GT(remote_stats.rowsSwitched, 0);
@@ -171,9 +174,8 @@ TEST(Engine, RemoteSwitchingConvergesAndReusesMap)
     auto b = randomDense(rng, 128, 32);
     AccelConfig cfg = makeConfig(Design::RemoteD, 16);
     RowPartition part(128, 16, cfg.mapPolicy);
-    SpmmEngine engine(cfg);
-    SpmmStats stats;
-    engine.run(a, b, TdqKind::Tdq2OmegaCsc, part, stats);
+    SpmmStats stats =
+        SpmmEngine(cfg).execute(a, b, TdqKind::Tdq2OmegaCsc, part).stats;
     // Auto-tuning must settle well before the 32 rounds are over.
     EXPECT_GE(stats.convergedRound, 0);
     EXPECT_LT(stats.convergedRound, 24);
@@ -194,12 +196,16 @@ TEST(Engine, RebalancingShrinksPeakQueueDepth)
     {
         AccelConfig cfg = makeConfig(Design::Baseline, 16);
         RowPartition part(256, 16, cfg.mapPolicy);
-        SpmmEngine(cfg).run(a, b, TdqKind::Tdq2OmegaCsc, part, base_stats);
+        base_stats =
+            SpmmEngine(cfg).execute(a, b, TdqKind::Tdq2OmegaCsc, part)
+                .stats;
     }
     {
         AccelConfig cfg = makeConfig(Design::RemoteD, 16);
         RowPartition part(256, 16, cfg.mapPolicy);
-        SpmmEngine(cfg).run(a, b, TdqKind::Tdq2OmegaCsc, part, d_stats);
+        d_stats =
+            SpmmEngine(cfg).execute(a, b, TdqKind::Tdq2OmegaCsc, part)
+                .stats;
     }
     EXPECT_LT(d_stats.peakQueueDepth, base_stats.peakQueueDepth);
 }
@@ -220,12 +226,16 @@ TEST(Engine, UniformWorkloadAlreadyBalanced)
     {
         AccelConfig cfg = makeConfig(Design::Baseline, 16);
         RowPartition part(256, 16, cfg.mapPolicy);
-        SpmmEngine(cfg).run(a, b, TdqKind::Tdq2OmegaCsc, part, base_stats);
+        base_stats =
+            SpmmEngine(cfg).execute(a, b, TdqKind::Tdq2OmegaCsc, part)
+                .stats;
     }
     {
         AccelConfig cfg = makeConfig(Design::RemoteD, 16);
         RowPartition part(256, 16, cfg.mapPolicy);
-        SpmmEngine(cfg).run(a, b, TdqKind::Tdq2OmegaCsc, part, d_stats);
+        d_stats =
+            SpmmEngine(cfg).execute(a, b, TdqKind::Tdq2OmegaCsc, part)
+                .stats;
     }
     EXPECT_GT(base_stats.utilization, 0.6);
     double speedup = static_cast<double>(base_stats.cycles) /
@@ -252,8 +262,7 @@ TEST(GcnAccel, FunctionallyExactVsGoldenModel)
     auto golden = inferGcn(ds, model);
 
     AccelConfig cfg = makeConfig(Design::RemoteD, 16);
-    GcnAccelerator accel(cfg);
-    auto run = accel.run(ds, model);
+    auto run = runGcn(cfg, ds, model);
 
     ASSERT_TRUE(run.output.sameShape(golden.output));
     EXPECT_LT(run.output.maxAbsDiff(golden.output), 1e-3);
@@ -266,8 +275,7 @@ TEST(GcnAccel, PipeliningSavesCycles)
 {
     auto ds = loadSyntheticByName("citeseer", 3, 0.03);
     auto model = makeGcnModel(ds.spec.f1, ds.spec.f2, ds.spec.f3, 3);
-    GcnAccelerator accel(makeConfig(Design::Baseline, 16));
-    auto run = accel.run(ds, model);
+    auto run = runGcn(makeConfig(Design::Baseline, 16), ds, model);
     EXPECT_LT(run.totalCycles, run.totalCyclesSerial);
 }
 
@@ -276,10 +284,8 @@ TEST(GcnAccel, DesignDFasterThanBaselineOnPowerLawGraph)
     auto ds = loadSyntheticByName("cora", 4, 0.08);
     auto model = makeGcnModel(ds.spec.f1, ds.spec.f2, ds.spec.f3, 4);
 
-    GcnAccelerator base(makeConfig(Design::Baseline, 32));
-    GcnAccelerator d(makeConfig(Design::RemoteD, 32));
-    auto run_base = base.run(ds, model);
-    auto run_d = d.run(ds, model);
+    auto run_base = runGcn(makeConfig(Design::Baseline, 32), ds, model);
+    auto run_d = runGcn(makeConfig(Design::RemoteD, 32), ds, model);
 
     EXPECT_LT(run_d.totalCycles, run_base.totalCycles);
     EXPECT_GT(run_d.utilization, run_base.utilization);
