@@ -100,10 +100,9 @@ BM_CycleEngineCora(benchmark::State &state)
     b.fillUniform(rng, -1.0f, 1.0f);
     for (auto _ : state) {
         RowPartition part(ds.spec.nodes, cfg.numPes, cfg.mapPolicy);
-        SpmmStats stats;
-        auto c = SpmmEngine(cfg).run(ds.adjacency, b,
-                                     TdqKind::Tdq2OmegaCsc, part, stats);
-        benchmark::DoNotOptimize(stats.cycles);
+        SpmmResult r = SpmmEngine(cfg).execute(ds.adjacency, b,
+                                               TdqKind::Tdq2OmegaCsc, part);
+        benchmark::DoNotOptimize(r.stats.cycles);
     }
 }
 

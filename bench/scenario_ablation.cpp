@@ -110,9 +110,10 @@ runAblation(driver::ScenarioContext &ctx)
             AccelConfig cfg = makeConfig(Design::LocalB, 32);
             cfg.networkSpeedup = sp;
             RowPartition part(ds.spec.nodes, 32, cfg.mapPolicy);
-            SpmmStats stats;
-            SpmmEngine(cfg).run(ds.adjacency, b, TdqKind::Tdq2OmegaCsc,
-                                part, stats);
+            SpmmStats stats = SpmmEngine(cfg)
+                                  .execute(ds.adjacency, b,
+                                           TdqKind::Tdq2OmegaCsc, part)
+                                  .stats;
             t.addRow({std::to_string(sp),
                       std::to_string(cfg.omegaBufferDepth),
                       std::to_string(stats.cycles),

@@ -68,9 +68,9 @@ runCase(const char *label, const CooMatrix &coo)
                      Design::RemoteC, Design::RemoteD}) {
         AccelConfig cfg = makeConfig(d, 8);
         RowPartition part(32, 8, cfg.mapPolicy);
-        SpmmEngine engine(cfg);
-        SpmmStats stats;
-        engine.run(a, b, TdqKind::Tdq2OmegaCsc, part, stats);
+        SpmmStats stats = SpmmEngine(cfg)
+                              .execute(a, b, TdqKind::Tdq2OmegaCsc, part)
+                              .stats;
         if (d == Design::Baseline) ideal = stats.idealCycles;
         t.addRow({designName(d), std::to_string(stats.cycles),
                   fixed(static_cast<double>(stats.cycles) /

@@ -122,8 +122,7 @@ main(int argc, char **argv)
         Dataset ds = loadSynthetic(spec, opt.seed, opt.scale);
         GcnModel model =
             makeGcnModel(ds.spec.f1, ds.spec.f2, ds.spec.f3, opt.seed);
-        GcnAccelerator accel(cfg);
-        GcnRunResult run = accel.run(ds, model);
+        GcnRunResult run = runGcn(cfg, ds, model);
         auto golden = inferGcn(ds, model);
         for (std::size_t l = 0; l < run.layers.size(); ++l) {
             std::printf("layer %zu:\n", l + 1);

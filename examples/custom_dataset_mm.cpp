@@ -71,8 +71,7 @@ main(int argc, char **argv)
     ds.adjacency = a_hat;
     ds.features = features;
 
-    GcnAccelerator accel(makeConfig(Design::RemoteD, 32));
-    GcnRunResult run = accel.run(ds, model);
+    GcnRunResult run = runGcn(makeConfig(Design::RemoteD, 32), ds, model);
     InferenceResult golden = inferGcn(ds.adjacency, ds.features, model);
 
     std::printf("inference done: %lld cycles, util %.1f%%, "

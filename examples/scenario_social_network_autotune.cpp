@@ -38,10 +38,10 @@ runSocialAutotune(driver::ScenarioContext &ctx)
     auto show = [&](Design d) {
         AccelConfig cfg = makeConfig(d, 32, /*hop_base=*/2);
         RowPartition part(ds.spec.nodes, cfg.numPes, cfg.mapPolicy);
-        SpmmEngine engine(cfg);
-        SpmmStats stats;
-        engine.run(ds.adjacency, activations, TdqKind::Tdq2OmegaCsc, part,
-                   stats);
+        SpmmStats stats = SpmmEngine(cfg)
+                              .execute(ds.adjacency, activations,
+                                       TdqKind::Tdq2OmegaCsc, part)
+                              .stats;
         std::printf("%s: %lld cycles, util %.1f%%, rows switched %lld, "
                     "converged at round %lld\n",
                     designName(d).c_str(),

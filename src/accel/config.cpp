@@ -1,6 +1,6 @@
 #include "accel/config.hpp"
 
-#include "common/log.hpp"
+#include "accel/policy.hpp"
 
 namespace awb {
 
@@ -32,6 +32,22 @@ AccelConfig::validate(bool cycle_accurate_tdq2) const
     if (injectWidth < 0) return "injectWidth must be non-negative (0 = auto)";
     if (streamWidth < 0) return "streamWidth must be non-negative (0 = auto)";
     if (maxCyclesPerRound <= 0) return "maxCyclesPerRound must be positive";
+    // Combination checks: fields that are individually fine but make no
+    // sense together.
+    if (remoteSwitching && numPes < 2)
+        return "remote switching needs at least 2 PEs (the PESM tracks "
+               "hot/cold PE tuples)";
+    if (sharingHops >= numPes && numPes > 1)
+        return "sharingHops must be smaller than the PE count (the "
+               "sharing window would span the whole array)";
+    if (approximateEq5 && !remoteSwitching)
+        return "approximateEq5 selects the shift-based Eq. 5 increment "
+               "of the remote switcher; enable remoteSwitching with it";
+    if (!balancePolicy.empty() &&
+        PolicyRegistry::instance().find(balancePolicy) == nullptr)
+        return "unknown balance policy '" + balancePolicy +
+               "' — did you mean '" +
+               PolicyRegistry::instance().nearest(balancePolicy) + "'?";
     // Only the cycle-accurate TDQ-2 path requires a power-of-two PE count
     // (Omega network); the round-level model accepts any size (the
     // paper's Fig. 15 sweeps 512/768/1024).
@@ -45,36 +61,7 @@ AccelConfig::validate(bool cycle_accurate_tdq2) const
 AccelConfig
 makeConfig(Design design, int num_pes, int hop_base)
 {
-    if (hop_base < 1) hop_base = 1;
-
-    AccelConfig cfg;
-    cfg.numPes = num_pes;
-    switch (design) {
-      case Design::Baseline:
-        break;
-      case Design::LocalA:
-        cfg.sharingHops = hop_base;
-        break;
-      case Design::LocalB:
-        cfg.sharingHops = hop_base + 1;
-        break;
-      case Design::RemoteC:
-        cfg.sharingHops = hop_base;
-        cfg.remoteSwitching = true;
-        break;
-      case Design::RemoteD:
-        cfg.sharingHops = hop_base + 1;
-        cfg.remoteSwitching = true;
-        break;
-      case Design::EieLike:
-        // EIE forwards non-zeros in column-major order to a single
-        // activation queue per PE and has no rebalancing (paper §6).
-        cfg.numQueuesPerPe = 1;
-        break;
-    }
-    std::string err = cfg.validate();
-    if (!err.empty()) fatal("makeConfig: " + err);
-    return cfg;
+    return makePolicyConfig(designPolicyName(design), num_pes, hop_base);
 }
 
 } // namespace awb

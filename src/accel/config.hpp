@@ -22,7 +22,13 @@ enum class RowMapPolicy
     Cyclic,   ///< row i -> PE i mod P
 };
 
-/** Evaluated design points. */
+/**
+ * Evaluated paper design points. Since the balance-policy redesign this
+ * enum is a thin shorthand: each value names a policy registered in the
+ * PolicyRegistry (accel/policy.hpp), and makeConfig() is a lookup over
+ * that registry. Non-paper policies have no enum value — address them by
+ * registry name (makePolicyConfig).
+ */
 enum class Design
 {
     Baseline,      ///< static equal partition, no rebalancing
@@ -73,6 +79,11 @@ struct AccelConfig
     int streamWidth = 0;      ///< TDQ-1 dense elements scanned per cycle;
                               ///< 0 = auto (numPes / operand density)
     Cycle maxCyclesPerRound = 100000000;  ///< watchdog
+    /** Registered balance-policy name (accel/policy.hpp) driving the
+     *  initial partition and per-round rebalancing. Empty = derive from
+     *  the legacy fields (mapPolicy, remoteSwitching), which is what the
+     *  hand-built configs of tests and ablations rely on. */
+    std::string balancePolicy;
 
     /** True when this configuration performs any runtime rebalancing. */
     bool rebalancing() const { return sharingHops > 0 || remoteSwitching; }
@@ -80,16 +91,22 @@ struct AccelConfig
     /**
      * Check every field for out-of-range values (non-positive PE/queue/
      * port counts, negative hop distances or stream widths, a zero
-     * watchdog, ...). With `cycle_accurate_tdq2`, additionally require
-     * the power-of-two PE count the Omega network needs. Returns an
-     * empty string when valid, else a descriptive error; callers surface
-     * the message (CLI error rows, fatal()) instead of asserting.
+     * watchdog, ...) and for nonsensical field combinations (remote
+     * switching on fewer than 2 PEs, a sharing window wider than the PE
+     * array, the Eq. 5 shift approximation without remote switching, an
+     * unregistered balancePolicy name). With `cycle_accurate_tdq2`,
+     * additionally require the power-of-two PE count the Omega network
+     * needs. Returns an empty string when valid, else a descriptive
+     * error; callers surface the message (CLI error rows, fatal())
+     * instead of asserting.
      */
     std::string validate(bool cycle_accurate_tdq2 = false) const;
 };
 
 /**
- * Build the configuration for a paper design point.
+ * Build the configuration for a paper design point: a thin lookup of the
+ * design's registered policy (equivalent to
+ * `makePolicyConfig(designPolicyName(design), num_pes, hop_base)`).
  *
  * @param design    design point
  * @param num_pes   PE-array size

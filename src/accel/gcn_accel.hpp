@@ -59,28 +59,6 @@ struct GcnRunResult
 GcnRunResult runGcn(const AccelConfig &cfg, const Dataset &ds,
                     const GcnModel &model);
 
-/** Deprecated shim kept for one release over the Session API — see the
- *  README migration guide. Use runGcn(), or sim::Session directly for
- *  non-GCN workloads. */
-class GcnAccelerator
-{
-  public:
-    explicit GcnAccelerator(const AccelConfig &cfg) : cfg_(cfg) {}
-
-    /** Run inference; identical to runGcn(config(), ds, model). */
-    [[deprecated("use awb::runGcn (or sim::Session + sim::buildGcn); "
-                 "this shim goes away next release")]]
-    GcnRunResult run(const Dataset &ds, const GcnModel &model)
-    {
-        return runGcn(cfg_, ds, model);
-    }
-
-    const AccelConfig &config() const { return cfg_; }
-
-  private:
-    AccelConfig cfg_;
-};
-
 /**
  * Combine per-round durations of two chained SPMMs under column
  * pipelining: stage-2 round k starts when stage 1 finished column k and

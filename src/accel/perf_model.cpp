@@ -5,7 +5,7 @@
 #include <numeric>
 
 #include "accel/gcn_accel.hpp"
-#include "accel/rebalance.hpp"
+#include "accel/policy.hpp"
 #include "common/log.hpp"
 
 namespace awb {
@@ -98,7 +98,8 @@ PerfModel::runSpmm(const std::vector<Count> &row_work, Index rounds,
     res.rounds = rounds;
     res.roundCycles.reserve(static_cast<std::size_t>(rounds));
 
-    RemoteSwitcher switcher(cfg_, partition.rows());
+    std::unique_ptr<RebalancePolicy> rebalance =
+        makeRebalancePolicy(cfg_, partition.rows());
     res.perPeTasks.assign(static_cast<std::size_t>(P), 0);
     const Cycle overhead = cfg_.macLatency + log2i(P) + 2;
 
@@ -136,14 +137,14 @@ PerfModel::runSpmm(const std::vector<Count> &row_work, Index rounds,
             }
         }
 
-        if (cfg_.remoteSwitching && k + 1 < rounds) {
+        if (k + 1 < rounds && rebalance->wantsObservations()) {
             // PESM ranks by home-attributed load (see SpmmEngine): the
             // switchable quantity is row ownership, not where sharing
             // happened to execute the tasks.
             RoundObservation obs;
-            obs.peWork = pe_work;
+            obs.peWork = std::move(pe_work);
             obs.drainCycle.assign(served.begin(), served.end());
-            switcher.observeAndAdjust(obs, row_work, partition);
+            rebalance->observeAndAdjust(obs, row_work, partition);
         }
     }
 
@@ -155,8 +156,8 @@ PerfModel::runSpmm(const std::vector<Count> &row_work, Index rounds,
         ? static_cast<double>(res.tasks) /
           (static_cast<double>(P) * static_cast<double>(res.cycles))
         : 0.0;
-    res.rowsSwitched = switcher.totalRowsMoved();
-    res.convergedRound = switcher.convergedRound();
+    res.rowsSwitched = rebalance->totalRowsMoved();
+    res.convergedRound = rebalance->convergedRound();
     return res;
 }
 
@@ -165,7 +166,9 @@ PerfModel::runGcn(const WorkloadProfile &profile) const
 {
     const Index n = profile.spec.nodes;
     PerfGcnResult res;
-    RowPartition part_a(n, cfg_.numPes, cfg_.mapPolicy);
+    std::unique_ptr<PartitionPolicy> partitioner =
+        makePartitionPolicy(cfg_);
+    RowPartition part_a = partitioner->build(n, profile.aRowNnz, cfg_);
 
     struct LayerIn
     {
@@ -179,7 +182,7 @@ PerfModel::runGcn(const WorkloadProfile &profile) const
 
     for (const LayerIn &li : layers) {
         PerfGcnResult::Layer layer;
-        RowPartition part_x(n, cfg_.numPes, cfg_.mapPolicy);
+        RowPartition part_x = partitioner->build(n, *li.xRow, cfg_);
         layer.xw = runSpmm(*li.xRow, li.rounds, part_x);
         layer.ax = runSpmm(profile.aRowNnz, li.rounds, part_a);
         layer.pipelinedCycles =

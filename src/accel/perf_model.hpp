@@ -11,8 +11,10 @@
  * 64 columns) tractable; DESIGN.md §4 explains the validation against the
  * cycle-accurate engine.
  *
- * It drives the *same* RemoteSwitcher as the cycle engine, so auto-tuning
- * decisions are identical between fidelities.
+ * It drives the *same* RebalancePolicy objects (accel/policy.hpp — the
+ * paper's RemoteSwitcher for Designs C/D, arbitrary registered policies
+ * otherwise) as the cycle engine, so auto-tuning decisions are identical
+ * between fidelities.
  */
 
 #pragma once

@@ -38,6 +38,21 @@ RowPartition::RowPartition(Index rows, int num_pes, RowMapPolicy policy)
     }
 }
 
+RowPartition::RowPartition(std::vector<int> owner, int num_pes)
+    : numPes_(num_pes), owner_(std::move(owner))
+{
+    if (owner_.empty() || num_pes <= 0)
+        fatal("RowPartition: rows and PEs must be positive");
+    rowsOf_.resize(static_cast<std::size_t>(num_pes));
+    for (std::size_t r = 0; r < owner_.size(); ++r) {
+        int pe = owner_[r];
+        if (pe < 0 || pe >= num_pes)
+            fatal("RowPartition: owner entry out of range");
+        rowsOf_[static_cast<std::size_t>(pe)].push_back(
+            static_cast<Index>(r));
+    }
+}
+
 void
 RowPartition::moveRow(Index row, int to_pe)
 {

@@ -25,6 +25,11 @@ class RowPartition
     /** Build the static initial mapping. */
     RowPartition(Index rows, int num_pes, RowMapPolicy policy);
 
+    /** Adopt an explicit row→PE assignment (balance policies that
+     *  compute the whole map at once). Every entry must be in
+     *  [0, num_pes). */
+    RowPartition(std::vector<int> owner, int num_pes);
+
     Index rows() const { return static_cast<Index>(owner_.size()); }
     int numPes() const { return numPes_; }
 

@@ -6,7 +6,7 @@
 #include "accel/local_share.hpp"
 #include "accel/omega.hpp"
 #include "accel/pe.hpp"
-#include "accel/rebalance.hpp"
+#include "accel/policy.hpp"
 #include "common/log.hpp"
 
 #include <cstdio>
@@ -84,7 +84,8 @@ SpmmEngine::execute(const CscMatrix &a, const DenseMatrix &b, TdqKind kind,
                          cfg_.macLatency);
 
     LocalSharer sharer(cfg_.sharingHops);
-    RemoteSwitcher switcher(cfg_, m);
+    std::unique_ptr<RebalancePolicy> rebalance =
+        makeRebalancePolicy(cfg_, m);
     const bool use_net = (kind == TdqKind::Tdq2OmegaCsc) && P >= 2;
     OmegaNetwork net(std::max(P, 2), cfg_.omegaBufferDepth,
                      cfg_.networkSpeedup);
@@ -287,9 +288,10 @@ SpmmEngine::execute(const CscMatrix &a, const DenseMatrix &b, TdqKind kind,
         stats.tasks += round_tasks;
         stats.idealCycles += (round_tasks + P - 1) / P;
 
-        // Remote switching auto-tunes the row map for the next round.
-        if (cfg_.remoteSwitching && k + 1 < K)
-            switcher.observeAndAdjust(obs, row_work, partition);
+        // The rebalance policy auto-tunes the row map for the next round
+        // (the paper's remote switching, or any registered alternative).
+        if (k + 1 < K)
+            rebalance->observeAndAdjust(obs, row_work, partition);
     }
 
     stats.cycles = now;
@@ -298,8 +300,8 @@ SpmmEngine::execute(const CscMatrix &a, const DenseMatrix &b, TdqKind kind,
         ? static_cast<double>(stats.tasks) /
           (static_cast<double>(P) * static_cast<double>(stats.cycles))
         : 0.0;
-    stats.rowsSwitched = switcher.totalRowsMoved();
-    stats.convergedRound = switcher.convergedRound();
+    stats.rowsSwitched = rebalance->totalRowsMoved();
+    stats.convergedRound = rebalance->convergedRound();
     for (const auto &pe : pes) {
         stats.peakQueueDepth =
             std::max(stats.peakQueueDepth, pe.peakQueueDepth());

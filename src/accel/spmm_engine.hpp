@@ -10,8 +10,10 @@
  *    SPMM over the ultra-sparse adjacency).
  *
  * Dynamic local sharing diverts tasks to under-loaded neighbour PEs at
- * enqueue time; dynamic remote switching rewrites the row map between
- * rounds until the RemoteSwitcher converges, after which the tuned map is
+ * enqueue time; between rounds the configuration's RebalancePolicy
+ * (accel/policy.hpp — the paper's RemoteSwitcher for Designs C/D,
+ * arbitrary registered policies otherwise) observes the round and may
+ * rewrite the row map until it converges, after which the tuned map is
  * reused for the remaining columns. A per-column barrier separates rounds
  * (§3.3: synchronization happens when a full column of C is complete).
  */
@@ -19,7 +21,6 @@
 #pragma once
 
 #include <string>
-#include <utility>
 #include <vector>
 
 #include "accel/config.hpp"
@@ -82,23 +83,10 @@ class SpmmEngine
      * @param a          sparse operand in CSC
      * @param b          dense operand (rows == a.cols())
      * @param kind       distribution path (TDQ-1 or TDQ-2)
-     * @param partition  row map; mutated by remote switching
+     * @param partition  row map; mutated by the rebalance policy
      */
     SpmmResult execute(const CscMatrix &a, const DenseMatrix &b,
                        TdqKind kind, RowPartition &partition);
-
-    /** Out-param shim over execute(). Deprecated since the Session API
-     *  redesign; removed one release later. */
-    [[deprecated("use SpmmEngine::execute (or sim::Session for whole "
-                 "workloads); the out-param API goes away next release")]]
-    DenseMatrix
-    run(const CscMatrix &a, const DenseMatrix &b, TdqKind kind,
-        RowPartition &partition, SpmmStats &stats)
-    {
-        SpmmResult r = execute(a, b, kind, partition);
-        stats = std::move(r.stats);
-        return std::move(r.c);
-    }
 
   private:
     AccelConfig cfg_;

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "accel/policy.hpp"
 #include "common/log.hpp"
 #include "driver/scenario.hpp"
 #include "driver/sweep.hpp"
@@ -27,16 +28,12 @@ splitCsv(const std::string &s)
     return out;
 }
 
-Design
+/** Resolve a --designs value to a canonical registered policy name;
+ *  the registry fatal()s with a near-miss suggestion on a miss. */
+std::string
 parseDesignCli(const std::string &s)
 {
-    if (s == "base" || s == "baseline") return Design::Baseline;
-    if (s == "a") return Design::LocalA;
-    if (s == "b") return Design::LocalB;
-    if (s == "c") return Design::RemoteC;
-    if (s == "d") return Design::RemoteD;
-    if (s == "eie") return Design::EieLike;
-    fatal("unknown design '" + s + "' (base|a|b|c|d|eie)");
+    return PolicyRegistry::instance().get(s).name;
 }
 
 void
@@ -46,6 +43,9 @@ printUsage()
         "awbsim — AWB-GCN unified experiment driver\n\n"
         "  awbsim --list-scenarios\n"
         "      List every registered paper scenario.\n\n"
+        "  awbsim --list-designs\n"
+        "      List every registered balance policy (paper designs plus\n"
+        "      extensions) usable with --designs.\n\n"
         "  awbsim run <scenario ...> [--seed N] [--scale S] [--repeat N]\n"
         "             [--json FILE] [args ...]\n"
         "      Run scenarios by name ('all' = every one). Extra\n"
@@ -53,7 +53,9 @@ printUsage()
         "  awbsim --sweep [options]\n"
         "      Expand and run a configuration grid on a worker pool.\n"
         "      --datasets a,b,..   default cora,citeseer,pubmed,nell,reddit\n"
-        "      --designs d1,d2,..  of base|a|b|c|d|eie (default base,a,b,c,d)\n"
+        "      --designs p1,p2,..  registered policy names or aliases\n"
+        "                          (default base,a,b,c,d; see\n"
+        "                          --list-designs)\n"
         "      --pes n1,n2,..      PE-array sizes (default 512)\n"
         "      --modes m1,m2,..    of model|cycle|tdq1|tdq2|graphsage|gin|\n"
         "                          khop (default model; graphsage/gin/khop\n"
@@ -76,6 +78,22 @@ listScenarios()
     for (const Scenario *s : all)
         std::printf("  %-24s %-16s %s\n", s->name.c_str(),
                     ("[" + s->figure + "]").c_str(), s->summary.c_str());
+    return 0;
+}
+
+int
+listDesigns()
+{
+    auto all = PolicyRegistry::instance().all();
+    std::printf("%zu registered balance policies:\n", all.size());
+    for (const BalancePolicy *p : all) {
+        std::string aliases;
+        for (const auto &a : p->aliases)
+            aliases += (aliases.empty() ? "" : ",") + a;
+        std::printf("  %-14s %-10s %s%s%s\n", p->name.c_str(),
+                    ("[" + p->label + "]").c_str(), p->description.c_str(),
+                    aliases.empty() ? "" : "  alias: ", aliases.c_str());
+    }
     return 0;
 }
 
@@ -168,6 +186,8 @@ driverMain(int argc, char **argv)
         return 0;
     }
     if (cmd == "--list-scenarios" || cmd == "list") return listScenarios();
+    if (cmd == "--list-designs" || cmd == "--list-policies")
+        return listDesigns();
     if (cmd == "run") {
         ScenarioCli cli = parseScenarioCli(argc, argv, 2,
                                            /*warn_unknown=*/true);

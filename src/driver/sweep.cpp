@@ -8,6 +8,7 @@
 
 #include "accel/gcn_accel.hpp"
 #include "accel/perf_model.hpp"
+#include "accel/policy.hpp"
 #include "accel/spmm_engine.hpp"
 #include "common/log.hpp"
 #include "common/rng.hpp"
@@ -23,9 +24,6 @@
 namespace awb::driver {
 
 namespace {
-
-constexpr double kFpgaMhz = 275.0;  ///< paper operating frequency
-constexpr double kEieMhz = 285.0;   ///< EIE-like design frequency
 
 /** splitmix64 finalizer (Vigna); full-avalanche seed mixing. */
 std::uint64_t
@@ -47,6 +45,7 @@ accumulate(SweepOutcome &out, const SpmmStats &s)
     out.tasks += s.tasks;
     out.rounds += s.rounds;
     out.rowsSwitched += s.rowsSwitched;
+    out.convergedRound = std::max(out.convergedRound, s.convergedRound);
     out.peakTqDepth = std::max(out.peakTqDepth, s.peakQueueDepth);
 }
 
@@ -57,6 +56,7 @@ accumulate(SweepOutcome &out, const PerfSpmmResult &s)
     out.syncCycles += s.syncCycles;
     out.rounds += s.rounds;
     out.rowsSwitched += s.rowsSwitched;
+    out.convergedRound = std::max(out.convergedRound, s.convergedRound);
     out.peakTqDepth = std::max(out.peakTqDepth, s.peakQueueDepth);
 }
 
@@ -80,10 +80,12 @@ executeOnce(const SweepPoint &p, const SweepOptions &opts)
         out.error = "numPes must be positive";
         return out;
     }
-    AccelConfig cfg = makeConfig(p.design, p.pes, hopBase(spec));
-
-    // Cycle-accurate modes route the adjacency through the Omega network;
-    // surface configuration errors as per-point results, not aborts.
+    // Surface configuration errors (bad field combinations, and for the
+    // cycle-accurate modes the power-of-two PE count the Omega network
+    // needs) as per-point results, not aborts: configure without
+    // validating, then route validate() into the error row.
+    AccelConfig cfg = configureForPolicy(
+        PolicyRegistry::instance().get(p.policy), p.pes, hopBase(spec));
     std::string cfg_err =
         cfg.validate(/*cycle_accurate_tdq2=*/p.mode != SweepMode::Model);
     if (!cfg_err.empty()) {
@@ -125,7 +127,8 @@ executeOnce(const SweepPoint &p, const SweepOptions &opts)
         Rng rng(p.seed, /*seq=*/1);
         DenseMatrix w(ds.spec.f1, ds.spec.f2);
         w.fillUniform(rng, -1.0f, 1.0f);
-        RowPartition part(x.rows(), cfg.numPes, cfg.mapPolicy);
+        RowPartition part =
+            makePartitionPolicy(cfg)->build(x.rows(), x.rowNnz(), cfg);
         SpmmResult r =
             SpmmEngine(cfg).execute(x, w, TdqKind::Tdq1DenseScan, part);
         accumulate(out, r.stats);
@@ -137,7 +140,8 @@ executeOnce(const SweepPoint &p, const SweepOptions &opts)
         Rng rng(p.seed, /*seq=*/2);
         DenseMatrix b(ds.spec.nodes, ds.spec.f2);
         b.fillUniform(rng, -1.0f, 1.0f);
-        RowPartition part(ds.adjacency.rows(), cfg.numPes, cfg.mapPolicy);
+        RowPartition part = makePartitionPolicy(cfg)->build(
+            ds.adjacency.rows(), ds.adjacency.rowNnz(), cfg);
         SpmmResult r = SpmmEngine(cfg).execute(ds.adjacency, b,
                                                TdqKind::Tdq2OmegaCsc, part);
         accumulate(out, r.stats);
@@ -171,7 +175,7 @@ executeOnce(const SweepPoint &p, const SweepOptions &opts)
       }
     }
 
-    double mhz = p.design == Design::EieLike ? kEieMhz : kFpgaMhz;
+    double mhz = policyClockMhz(cfg);
     EnergyReport energy = evaluateEnergy(out.cycles, out.tasks, mhz);
     out.latencyMs = energy.latencyMs;
     out.inferencesPerKj = energy.inferencesPerKj;
@@ -226,13 +230,17 @@ expandGrid(const SweepOptions &opts)
     std::vector<SweepPoint> points;
     for (const auto &dataset : opts.datasets) {
         findDataset(dataset);  // validate early; fatal() on unknown
-        for (Design design : opts.designs) {
+        for (const std::string &design : opts.designs) {
+            // Resolve aliases ("d" → "remote-d") up front; fatal() with a
+            // near-miss suggestion on an unknown policy.
+            const BalancePolicy &pol =
+                PolicyRegistry::instance().get(design);
             for (int pes : opts.peCounts) {
                 for (SweepMode mode : opts.modes) {
                     SweepPoint p;
                     p.index = points.size();
                     p.dataset = dataset;
-                    p.design = design;
+                    p.policy = pol.name;
                     p.pes = pes;
                     p.mode = mode;
                     p.seed = derivePointSeed(opts.seed, p.index);
@@ -291,8 +299,7 @@ runSweep(const SweepOptions &opts, const std::vector<SweepPoint> &points)
                 std::fprintf(stderr, "[%zu/%zu] %s %s %d PEs %s: %s\n",
                              i + 1, points.size(),
                              points[i].dataset.c_str(),
-                             designName(points[i].design).c_str(),
-                             points[i].pes,
+                             points[i].policy.c_str(), points[i].pes,
                              sweepModeName(points[i].mode).c_str(),
                              outcomes[i].ok ? "ok"
                                             : outcomes[i].error.c_str());
@@ -328,7 +335,8 @@ sweepToJson(const SweepOptions &opts,
     for (const auto &d : opts.datasets) datasets.push(d);
     grid.set("datasets", std::move(datasets));
     Json designs = Json::array();
-    for (Design d : opts.designs) designs.push(designName(d));
+    for (const std::string &d : opts.designs)
+        designs.push(PolicyRegistry::instance().get(d).label);
     grid.set("designs", std::move(designs));
     Json pes = Json::array();
     for (int p : opts.peCounts) pes.push(p);
@@ -343,7 +351,9 @@ sweepToJson(const SweepOptions &opts,
         Json p = Json::object();
         p.set("index", o.point.index);
         p.set("dataset", o.point.dataset);
-        p.set("design", designName(o.point.design));
+        p.set("design",
+              PolicyRegistry::instance().get(o.point.policy).label);
+        p.set("policy", o.point.policy);
         p.set("pes", o.point.pes);
         p.set("mode", sweepModeName(o.point.mode));
         p.set("seed", o.point.seed);
@@ -358,6 +368,7 @@ sweepToJson(const SweepOptions &opts,
             p.set("utilization", o.utilization);
             p.set("peak_tq_depth", o.peakTqDepth);
             p.set("rows_switched", o.rowsSwitched);
+            p.set("converged_round", o.convergedRound);
             p.set("rounds", o.rounds);
             p.set("latency_ms", o.latencyMs);
             p.set("inferences_per_kj", o.inferencesPerKj);
@@ -377,15 +388,16 @@ sweepTable(const std::vector<SweepOutcome> &outcomes)
     Table t({"mode", "dataset", "design", "PEs", "cycles", "util",
              "TQ depth", "switched", "latency(ms)", "area(CLB)"});
     for (const auto &o : outcomes) {
+        std::string label =
+            PolicyRegistry::instance().get(o.point.policy).label;
         if (!o.ok) {
-            t.addRow({sweepModeName(o.point.mode), o.point.dataset,
-                      designName(o.point.design),
+            t.addRow({sweepModeName(o.point.mode), o.point.dataset, label,
                       std::to_string(o.point.pes), "ERROR: " + o.error, "",
                       "", "", "", ""});
             continue;
         }
-        t.addRow({sweepModeName(o.point.mode), o.point.dataset,
-                  designName(o.point.design), std::to_string(o.point.pes),
+        t.addRow({sweepModeName(o.point.mode), o.point.dataset, label,
+                  std::to_string(o.point.pes),
                   humanCount(static_cast<double>(o.cycles)),
                   percent(o.utilization), std::to_string(o.peakTqDepth),
                   std::to_string(o.rowsSwitched), fixed(o.latencyMs, 3),

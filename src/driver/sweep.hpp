@@ -1,11 +1,16 @@
 /**
  * @file
  * Multithreaded scenario-sweep engine: expands a grid of
- * dataset × design × PE-count × execution-mode points, runs every point
+ * dataset × policy × PE-count × execution-mode points, runs every point
  * on a std::thread worker pool (one independent SpmmEngine / PerfModel
  * per point, nothing shared but the result slot), and aggregates
  * cycle/utilization/energy/area results into paper-style tables and a
  * machine-readable JSON document.
+ *
+ * The design axis is a list of registered balance-policy names
+ * (accel/policy.hpp): the six paper designs plus any registered
+ * extension, so `awbsim --sweep --designs remote-d,work-steal,...` works
+ * without touching the sweep engine.
  *
  * Determinism contract: each point derives its RNG seed from the global
  * seed and its own grid index (splitmix64 mixing), results land in a
@@ -45,9 +50,10 @@ struct SweepOptions
 {
     std::vector<std::string> datasets = {"cora", "citeseer", "pubmed",
                                          "nell", "reddit"};
-    std::vector<Design> designs = {Design::Baseline, Design::LocalA,
-                                   Design::LocalB, Design::RemoteC,
-                                   Design::RemoteD};
+    /** Balance-policy axis: canonical names or aliases registered in the
+     *  PolicyRegistry (the paper's five evaluated designs by default). */
+    std::vector<std::string> designs = {"baseline", "local-a", "local-b",
+                                        "remote-c", "remote-d"};
     std::vector<int> peCounts = {512};
     std::vector<SweepMode> modes = {SweepMode::Model};
     double scale = 1.0;        ///< dataset node-count scale
@@ -63,7 +69,7 @@ struct SweepPoint
 {
     std::size_t index = 0;     ///< position in the expanded grid
     std::string dataset;
-    Design design = Design::Baseline;
+    std::string policy = "baseline";  ///< canonical balance-policy name
     int pes = 0;
     SweepMode mode = SweepMode::Model;
     std::uint64_t seed = 0;    ///< derived, deterministic per point
@@ -82,6 +88,7 @@ struct SweepOutcome
     double utilization = 0.0;
     std::size_t peakTqDepth = 0;
     Count rowsSwitched = 0;
+    Count convergedRound = -1;     ///< latest auto-tune convergence round
     Count rounds = 0;
     double latencyMs = 0.0;        ///< at the paper's 275 MHz
     double inferencesPerKj = 0.0;

@@ -13,6 +13,7 @@ Session::Session(const AccelConfig &cfg) : cfg_(cfg)
 {
     std::string err = cfg.validate();
     if (!err.empty()) fatal("Session: " + err);
+    partitioner_ = makePartitionPolicy(cfg_);
 }
 
 void
@@ -129,8 +130,13 @@ Session::run(const WorkloadGraph &graph, StatsSink *sink)
             const CscMatrix &a = sparseOf(n.a);
             const DenseMatrix &b = denseOf(n.b);
             auto &maps = sparse_.count(n.a) ? rowMaps_ : localMaps;
-            auto [mapIt, fresh] = maps.try_emplace(
-                n.a, a.rows(), cfg_.numPes, cfg_.mapPolicy);
+            auto mapIt = maps.find(n.a);
+            const bool fresh = mapIt == maps.end();
+            if (fresh) {
+                mapIt = maps.emplace(n.a, partitioner_->build(
+                                              a.rows(), a.rowNnz(), cfg_))
+                            .first;
+            }
             if (!fresh && mapIt->second.rows() != a.rows())
                 fatal("Session: sparse operand '" + n.a +
                       "' changed row count; rebind it under a new name");

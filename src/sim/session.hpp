@@ -21,9 +21,11 @@
 #pragma once
 
 #include <map>
+#include <memory>
 #include <vector>
 
 #include "accel/config.hpp"
+#include "accel/policy.hpp"
 #include "accel/row_map.hpp"
 #include "accel/spmm_engine.hpp"
 #include "sim/workload.hpp"
@@ -124,6 +126,9 @@ class Session
 
   private:
     AccelConfig cfg_;
+    /** Initial row→PE mapping strategy of cfg_'s balance policy; used to
+     *  build the map of every sparse operand on first touch. */
+    std::unique_ptr<PartitionPolicy> partitioner_;
     std::map<TensorId, CscMatrix> sparse_;
     std::map<TensorId, DenseMatrix> dense_;
     std::map<TensorId, RowPartition> rowMaps_;

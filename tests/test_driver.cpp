@@ -25,7 +25,7 @@ smallGrid()
 {
     SweepOptions opts;
     opts.datasets = {"cora", "citeseer"};
-    opts.designs = {Design::Baseline, Design::RemoteD};
+    opts.designs = {"baseline", "remote-d"};
     opts.peCounts = {32, 64};
     opts.modes = {SweepMode::Model};
     opts.scale = 0.5;
@@ -194,7 +194,7 @@ TEST(Sweep, CycleModeMatchesAcceleratorAndChecksPow2)
 {
     SweepOptions opts = smallGrid();
     opts.datasets = {"cora"};
-    opts.designs = {Design::RemoteD};
+    opts.designs = {"remote-d"};
     opts.peCounts = {24};  // not a power of two
     opts.modes = {SweepMode::Cycle};
     opts.scale = 0.2;
@@ -215,7 +215,7 @@ TEST(Sweep, TdqModesRun)
 {
     SweepOptions opts;
     opts.datasets = {"cora"};
-    opts.designs = {Design::LocalA};
+    opts.designs = {"local-a"};
     opts.peCounts = {16};
     opts.modes = {SweepMode::SpmmTdq1, SweepMode::SpmmTdq2};
     opts.scale = 0.1;
@@ -234,7 +234,7 @@ TEST(Sweep, JsonSchema)
 {
     SweepOptions opts = smallGrid();
     opts.datasets = {"cora"};
-    opts.designs = {Design::Baseline};
+    opts.designs = {"baseline"};
     opts.peCounts = {32};
     auto outcomes = runSweep(opts);
     std::string doc = sweepToJson(opts, outcomes).dump(2);
@@ -243,10 +243,12 @@ TEST(Sweep, JsonSchema)
          {"\"schema\": \"awbsim-sweep-v1\"", "\"seed\": 7", "\"grid\":",
           "\"datasets\":", "\"designs\":", "\"pe_counts\":", "\"modes\":",
           "\"points\":", "\"index\": 0", "\"dataset\": \"cora\"",
-          "\"design\": \"Baseline\"", "\"pes\": 32", "\"mode\": \"model\"",
+          "\"design\": \"Baseline\"", "\"policy\": \"baseline\"",
+          "\"pes\": 32", "\"mode\": \"model\"",
           "\"ok\": true", "\"cycles\":", "\"ideal_cycles\":",
           "\"sync_cycles\":", "\"tasks\":", "\"utilization\":",
-          "\"peak_tq_depth\":", "\"rows_switched\":", "\"rounds\":",
+          "\"peak_tq_depth\":", "\"rows_switched\":",
+          "\"converged_round\":", "\"rounds\":",
           "\"latency_ms\":", "\"inferences_per_kj\":",
           "\"area_total_clb\":", "\"area_tq_clb\":", "\"deterministic\":"})
         EXPECT_NE(doc.find(key), std::string::npos) << "missing " << key;
