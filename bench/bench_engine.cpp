@@ -1,0 +1,321 @@
+/**
+ * @file
+ * Implementation of `awbsim --bench-engine` (driver/bench_engine.hpp):
+ * the event-vs-batched cycle-engine benchmark producing the tracked
+ * BENCH_engine.json perf baseline. See DESIGN.md §6 for why the two
+ * engines are bit-identical on every timing statistic and why the
+ * batched one is the only way to run Reddit-scale cycle sweeps.
+ */
+
+#include "driver/bench_engine.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <optional>
+
+#include "accel/policy.hpp"
+#include "accel/spmm_engine.hpp"
+#include "common/log.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "driver/json.hpp"
+#include "driver/scenario.hpp"
+#include "graph/datasets.hpp"
+#include "sparse/csc.hpp"
+#include "sparse/dense.hpp"
+
+namespace awb::driver {
+
+namespace {
+
+/** One engine's run of one grid point. */
+struct EngineRun
+{
+    double wallMs = 0.0;
+    Cycle cycles = 0;
+    Count tasks = 0;
+    Count rowsSwitched = 0;
+    Count convergedRound = -1;
+    Count rounds = 0;
+    Count roundsSimulated = 0;
+};
+
+/** One dataset × PEs × policy point (event run absent for batched-only). */
+struct BenchPoint
+{
+    std::string dataset;
+    int pes = 0;
+    std::string policy;
+    Index nodes = 0;
+    Count nnz = 0;
+    std::optional<EngineRun> event;
+    EngineRun batched;
+    bool identical = true;  ///< event/batched stats agreed bit for bit
+    double speedup = 0.0;   ///< event wall / batched wall (0 if no event)
+};
+
+EngineRun
+runOnce(const AccelConfig &cfg, const CscMatrix &adj, const DenseMatrix &b)
+{
+    RowPartition part =
+        makePartitionPolicy(cfg)->build(adj.rows(), adj.rowNnz(), cfg);
+    auto t0 = std::chrono::steady_clock::now();
+    SpmmResult r =
+        SpmmEngine(cfg).execute(adj, b, TdqKind::Tdq2OmegaCsc, part);
+    auto t1 = std::chrono::steady_clock::now();
+    EngineRun run;
+    run.wallMs =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    run.cycles = r.stats.cycles;
+    run.tasks = r.stats.tasks;
+    run.rowsSwitched = r.stats.rowsSwitched;
+    run.convergedRound = r.stats.convergedRound;
+    run.rounds = r.stats.rounds;
+    run.roundsSimulated = r.stats.roundsSimulated;
+    return run;
+}
+
+BenchPoint
+runPoint(const std::string &dataset, const DatasetSpec &spec, int pes,
+         const std::string &policy, const CscMatrix &adj,
+         const DenseMatrix &b, bool with_event)
+{
+    BenchPoint pt;
+    pt.dataset = dataset;
+    pt.pes = pes;
+    pt.policy = policy;
+    pt.nodes = adj.rows();
+    pt.nnz = adj.nnz();
+
+    AccelConfig cfg = makePolicyConfig(policy, pes, hopBase(spec));
+    std::string err = cfg.validate(/*cycle_accurate_tdq2=*/true);
+    if (!err.empty())
+        fatal("--bench-engine " + dataset + "@" + std::to_string(pes) +
+              " " + policy + ": " + err);
+
+    if (with_event) {
+        cfg.engine = EngineKind::Event;
+        pt.event = runOnce(cfg, adj, b);
+    }
+    cfg.engine = EngineKind::Batched;
+    pt.batched = runOnce(cfg, adj, b);
+
+    if (pt.event) {
+        pt.identical = pt.event->cycles == pt.batched.cycles &&
+                       pt.event->tasks == pt.batched.tasks &&
+                       pt.event->rowsSwitched == pt.batched.rowsSwitched &&
+                       pt.event->convergedRound ==
+                           pt.batched.convergedRound;
+        pt.speedup = pt.batched.wallMs > 0.0
+            ? pt.event->wallMs / pt.batched.wallMs
+            : 0.0;
+    }
+    return pt;
+}
+
+Json
+engineJson(const EngineRun &run)
+{
+    Json j = Json::object();
+    j.set("wall_ms", run.wallMs);
+    j.set("cycles", run.cycles);
+    j.set("tasks", run.tasks);
+    j.set("rows_switched", run.rowsSwitched);
+    j.set("converged_round", run.convergedRound);
+    j.set("rounds", run.rounds);
+    j.set("rounds_simulated", run.roundsSimulated);
+    return j;
+}
+
+} // namespace
+
+int
+runBenchEngine(const BenchEngineOptions &opts)
+{
+    std::vector<BenchPoint> points;
+
+    for (const std::string &dataset : opts.datasets) {
+        const DatasetSpec &spec = findDataset(dataset);
+        CscMatrix adj = loadSyntheticAdjacency(spec, opts.seed, opts.scale);
+        Rng rng(opts.seed, /*seq=*/2);
+        DenseMatrix b(adj.cols(), opts.k);
+        b.fillUniform(rng, -1.0f, 1.0f);
+        for (int pes : opts.peCounts) {
+            for (const std::string &policy : opts.policies) {
+                std::fprintf(stderr, "bench-engine: %s @ %d PEs %s ...\n",
+                             dataset.c_str(), pes, policy.c_str());
+                points.push_back(runPoint(
+                    dataset, spec, pes,
+                    PolicyRegistry::instance().get(policy).name, adj, b,
+                    /*with_event=*/true));
+            }
+        }
+    }
+
+    if (opts.redditPes > 0) {
+        const DatasetSpec &spec = findDataset("reddit");
+        std::fprintf(stderr,
+                     "bench-engine: reddit @ %d PEs %s (batched only, "
+                     "%d nodes) ...\n",
+                     opts.redditPes, opts.redditPolicy.c_str(), spec.nodes);
+        CscMatrix adj = loadSyntheticAdjacency(spec, opts.seed, opts.scale);
+        Rng rng(opts.seed, /*seq=*/2);
+        DenseMatrix b(adj.cols(), opts.k);
+        b.fillUniform(rng, -1.0f, 1.0f);
+        points.push_back(runPoint(
+            "reddit", spec, opts.redditPes,
+            PolicyRegistry::instance().get(opts.redditPolicy).name, adj, b,
+            /*with_event=*/false));
+    }
+
+    // --- Table.
+    Table t({"dataset", "PEs", "policy", "nnz", "event(ms)", "batched(ms)",
+             "speedup", "cycles", "rounds sim", "identical"});
+    bool all_identical = true;
+    for (const BenchPoint &p : points) {
+        all_identical = all_identical && p.identical;
+        t.addRow({p.dataset, std::to_string(p.pes), p.policy,
+                  humanCount(static_cast<double>(p.nnz)),
+                  p.event ? fixed(p.event->wallMs, 1) : "-",
+                  fixed(p.batched.wallMs, 1),
+                  p.event ? fixed(p.speedup, 1) + "x" : "-",
+                  humanCount(static_cast<double>(p.batched.cycles)),
+                  std::to_string(p.batched.roundsSimulated) + "/" +
+                      std::to_string(p.batched.rounds),
+                  p.event ? (p.identical ? "yes" : "NO") : "n/a"});
+    }
+    std::printf("%s", t.render().c_str());
+
+    // --- Headline perf-trajectory number: the largest event-vs-batched
+    // config (nodes × PEs), aggregated over every policy run at that
+    // size so slow-converging policies (whose rounds mostly have to be
+    // event-stepped either way) cannot be cherry-picked away.
+    const BenchPoint *largest = nullptr;
+    for (const BenchPoint &p : points) {
+        if (!p.event) continue;
+        if (largest == nullptr ||
+            static_cast<double>(p.nodes) * p.pes >
+                static_cast<double>(largest->nodes) * largest->pes)
+            largest = &p;
+    }
+    double largest_event_ms = 0.0;
+    double largest_batched_ms = 0.0;
+    double largest_speedup = 0.0;
+    if (largest != nullptr) {
+        for (const BenchPoint &p : points) {
+            if (!p.event || p.dataset != largest->dataset ||
+                p.pes != largest->pes)
+                continue;
+            largest_event_ms += p.event->wallMs;
+            largest_batched_ms += p.batched.wallMs;
+        }
+        largest_speedup = largest_batched_ms > 0.0
+            ? largest_event_ms / largest_batched_ms
+            : 0.0;
+        std::printf("largest paired config %s @ %d PEs (all policies): "
+                    "%.1fx batched speedup\n",
+                    largest->dataset.c_str(), largest->pes,
+                    largest_speedup);
+    }
+
+    // --- JSON document.
+    Json doc = Json::object();
+    doc.set("schema", "awbsim-bench-engine-v1");
+    doc.set("seed", opts.seed);
+    doc.set("scale", opts.scale);
+    doc.set("k", opts.k);
+    Json arr = Json::array();
+    for (const BenchPoint &p : points) {
+        Json j = Json::object();
+        j.set("dataset", p.dataset);
+        j.set("pes", p.pes);
+        j.set("policy", p.policy);
+        j.set("nodes", p.nodes);
+        j.set("nnz", p.nnz);
+        j.set("k", opts.k);
+        if (p.event) {
+            j.set("event", engineJson(*p.event));
+            j.set("speedup", p.speedup);
+            j.set("identical", p.identical);
+        }
+        j.set("batched", engineJson(p.batched));
+        arr.push(std::move(j));
+    }
+    doc.set("points", std::move(arr));
+    Json summary = Json::object();
+    if (largest != nullptr) {
+        Json l = Json::object();
+        l.set("dataset", largest->dataset);
+        l.set("pes", largest->pes);
+        l.set("event_wall_ms", largest_event_ms);
+        l.set("batched_wall_ms", largest_batched_ms);
+        l.set("speedup", largest_speedup);
+        summary.set("largest_paired_config", std::move(l));
+    }
+    summary.set("all_identical", all_identical);
+    doc.set("summary", std::move(summary));
+
+    std::string rendered = doc.dump(2);
+    if (opts.jsonPath == "-") {
+        std::printf("%s", rendered.c_str());
+    } else {
+        std::ofstream f(opts.jsonPath);
+        if (!f) fatal("cannot write " + opts.jsonPath);
+        f << rendered;
+        std::printf("bench-engine JSON written to %s\n",
+                    opts.jsonPath.c_str());
+    }
+
+    if (!all_identical) {
+        std::fprintf(stderr, "bench-engine: ENGINE MISMATCH — the batched "
+                             "engine diverged from the event engine\n");
+        return 1;
+    }
+    return 0;
+}
+
+int
+runBenchEngineCli(int argc, char **argv, int first)
+{
+    BenchEngineOptions opts;
+    for (int i = first; i < argc; ++i) {
+        std::string a = argv[i];
+        auto need = [&](const char *flag) -> std::string {
+            if (i + 1 >= argc) fatal(std::string(flag) + " needs a value");
+            return argv[++i];
+        };
+        if (a == "--datasets") {
+            opts.datasets = splitCsv(need("--datasets"));
+        } else if (a == "--pes") {
+            opts.peCounts.clear();
+            for (const auto &p : splitCsv(need("--pes")))
+                opts.peCounts.push_back(parseInt("--pes", p));
+        } else if (a == "--policies") {
+            opts.policies.clear();
+            for (const auto &p : splitCsv(need("--policies")))
+                opts.policies.push_back(
+                    PolicyRegistry::instance().get(p).name);
+        } else if (a == "--k") {
+            opts.k = parseInt("--k", need("--k"));
+        } else if (a == "--reddit-pes") {
+            opts.redditPes = parseInt("--reddit-pes", need("--reddit-pes"));
+        } else if (a == "--reddit-policy") {
+            opts.redditPolicy =
+                PolicyRegistry::instance().get(need("--reddit-policy")).name;
+        } else if (a == "--seed") {
+            opts.seed = parseUint("--seed", need("--seed"));
+        } else if (a == "--scale") {
+            opts.scale = parseDouble("--scale", need("--scale"));
+        } else if (a == "--json") {
+            opts.jsonPath = need("--json");
+        } else {
+            fatal("unknown bench-engine flag: " + a);
+        }
+    }
+    if (opts.k < 1) fatal("--k must be >= 1");
+    for (const auto &d : opts.datasets) findDataset(d);
+    return runBenchEngine(opts);
+}
+
+} // namespace awb::driver

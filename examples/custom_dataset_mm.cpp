@@ -3,10 +3,13 @@
  * Bring-your-own-graph: load an adjacency matrix from a Matrix Market
  * (.mtx) file — e.g. a SuiteSparse copy of a real citation graph —
  * normalize it, synthesize features, and run AWB-GCN inference on it.
- * When no file is given, the example writes one first (demonstrating the
- * writer) and then consumes it, so it is runnable out of the box.
+ * A ready-made sample ships at data/example_graph.mtx; when no file is
+ * given, the example writes an equivalent one into the working
+ * directory first (demonstrating the writer) and then consumes it, so
+ * it is runnable out of the box.
  *
  * Run:  ./custom_dataset_mm [graph.mtx]
+ *       ./custom_dataset_mm ../data/example_graph.mtx   # from build/
  */
 
 #include <cstdio>
@@ -28,7 +31,8 @@ main(int argc, char **argv)
     if (argc > 1) {
         path = argv[1];
     } else {
-        // No input given: synthesize a small power-law graph and save it,
+        // No input given: synthesize a small power-law graph and save it
+        // (same recipe as the committed data/example_graph.mtx sample),
         // so the load path below exercises exactly what a user would run.
         path = "example_graph.mtx";
         Rng rng(11);

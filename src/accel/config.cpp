@@ -1,8 +1,27 @@
 #include "accel/config.hpp"
 
 #include "accel/policy.hpp"
+#include "common/log.hpp"
 
 namespace awb {
+
+std::string
+engineKindName(EngineKind e)
+{
+    switch (e) {
+      case EngineKind::Event:   return "event";
+      case EngineKind::Batched: return "batched";
+    }
+    return "?";
+}
+
+EngineKind
+parseEngineKind(const std::string &s)
+{
+    if (s == "event") return EngineKind::Event;
+    if (s == "batched") return EngineKind::Batched;
+    fatal("unknown engine '" + s + "' (event|batched)");
+}
 
 std::string
 designName(Design d)

@@ -42,6 +42,28 @@ enum class Design
 /** Printable design name matching the paper's legend. */
 std::string designName(Design d);
 
+/**
+ * Which cycle-engine implementation executes an SPMM (DESIGN.md §6).
+ *
+ * Both produce bit-identical timing statistics (cycles, rowsSwitched,
+ * convergedRound, per-round durations); the batched engine event-steps
+ * only rounds whose entry state (row partition, PE arbiter cursors,
+ * Omega arbitration parity) has not been seen before and replays cached
+ * per-round aggregates for the rest, which is what makes Reddit-scale
+ * cycle-mode sweeps tractable.
+ */
+enum class EngineKind
+{
+    Event,    ///< per-non-zero event stepping of every round
+    Batched,  ///< round-batched: state-keyed memoization of round outcomes
+};
+
+/** "event" / "batched". */
+std::string engineKindName(EngineKind e);
+
+/** Parse an engine name; fatal() with the valid set on an unknown one. */
+EngineKind parseEngineKind(const std::string &s);
+
 /** All six design points in evaluation order. */
 inline constexpr Design kAllDesigns[] = {
     Design::Baseline, Design::LocalA, Design::LocalB,
@@ -79,6 +101,11 @@ struct AccelConfig
     int streamWidth = 0;      ///< TDQ-1 dense elements scanned per cycle;
                               ///< 0 = auto (numPes / operand density)
     Cycle maxCyclesPerRound = 100000000;  ///< watchdog
+    /** Cycle-engine implementation (accel/spmm_engine.hpp). The default
+     *  event engine steps every non-zero of every round; the batched
+     *  engine reproduces its statistics bit for bit while event-stepping
+     *  only distinct round-entry states (DESIGN.md §6). */
+    EngineKind engine = EngineKind::Event;
     /** Registered balance-policy name (accel/policy.hpp) driving the
      *  initial partition and per-round rebalancing. Empty = derive from
      *  the legacy fields (mapPolicy, remoteSwitching), which is what the

@@ -58,10 +58,25 @@ class OmegaNetwork
     int ports() const { return ports_; }
     int stages() const { return stages_; }
 
+    /**
+     * Force every router's input-priority toggle to `parity`. The toggle
+     * flips once per tick() for every router, so after t ticks from reset
+     * it equals t mod 2 array-wide; between rounds it is the only network
+     * state besides the (empty) buffers. The round-batched engine calls
+     * this with the global cycle parity before event-stepping a round so
+     * that skipped (replayed) rounds leave the fabric in the same state
+     * the event engine would have (DESIGN.md §6). A no-op under pure
+     * event stepping, where the toggle already equals the cycle parity.
+     */
+    void setArbitration(int parity);
+
     /** Largest buffer occupancy seen anywhere (area model input). */
     std::size_t peakBufferDepth() const;
 
     Count flitsDelivered() const { return delivered_; }
+    /** Moves that found their output busy or the next buffer full. A
+     *  congestion indicator, not an exact attempt count: provably futile
+     *  re-attempts (a pass that cannot make progress) are skipped. */
     Count blockedMoves() const { return blocked_; }
 
   private:
@@ -74,8 +89,17 @@ class OmegaNetwork
     int speedup_;
     /** buffers_[s][p]: input buffer of stage s at port p. */
     std::vector<std::vector<Fifo<Flit>>> buffers_;
-    /** Round-robin arbitration state per router per stage. */
-    std::vector<std::vector<int>> rrState_;
+    /**
+     * Input-priority toggle shared by every router. Each router used to
+     * carry its own bit, but all of them start at 0 and flip exactly
+     * once per tick(), so the array was always uniformly equal to the
+     * tick parity; one bit models it exactly and lets tick() skip
+     * vacant routers without desynchronizing arbitration state.
+     */
+    int rrTick_ = 0;
+    /** Flits resident per stage; lets tick() skip empty stages and
+     *  makes empty() O(stages). */
+    std::vector<Count> stageCount_;
     Count delivered_ = 0;
     Count blocked_ = 0;
 };

@@ -69,6 +69,16 @@ class Pe
     /** Per-round reset of drain bookkeeping (queues must be empty). */
     void resetRound();
 
+    /**
+     * The arbiter's round-robin cursor — the only PE state that carries
+     * meaning across round boundaries (queues and the MAC pipeline are
+     * drained at every per-column barrier). The batched engine keys its
+     * round memoization on it and restores it when replaying a cached
+     * round (DESIGN.md §6).
+     */
+    std::size_t arbiterCursor() const { return nextQueue_; }
+    void setArbiterCursor(std::size_t q) { nextQueue_ = q % queues_.size(); }
+
     StatSet &stats() { return stats_; }
     const StatSet &stats() const { return stats_; }
 

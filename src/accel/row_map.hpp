@@ -35,6 +35,10 @@ class RowPartition
 
     int owner(Index row) const { return owner_[static_cast<std::size_t>(row)]; }
 
+    /** The full row→PE assignment vector. The batched cycle engine keys
+     *  its round memoization on this (DESIGN.md §6). */
+    const std::vector<int> &owners() const { return owner_; }
+
     /** Rows currently owned by PE p (unsorted). */
     const std::vector<Index> &rowsOf(int pe) const
     {

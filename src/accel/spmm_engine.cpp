@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <numeric>
+#include <unordered_map>
+#include <utility>
 
 #include "accel/local_share.hpp"
 #include "accel/omega.hpp"
@@ -46,6 +48,74 @@ struct NnzStream
     std::size_t size() const { return row.size(); }
 };
 
+/**
+ * Everything one round produces that later rounds (or replays of the
+ * same round-entry state) need: the duration, the PESM observation, the
+ * per-PE execution tallies and the post-round arbiter cursors. A round's
+ * dynamics never read task values, so this is a pure function of the
+ * entry state captured in RoundKey — the basis of the batched engine
+ * (DESIGN.md §6).
+ */
+struct RoundOutcome
+{
+    Cycle roundCycles = 0;
+    std::vector<Count> homeTasks;    ///< obs.peWork (dispatch-attributed)
+    std::vector<Cycle> drainCycle;   ///< obs.drainCycle
+    std::vector<Count> execTasks;    ///< tasks executed per PE
+    Count rawStallDelta = 0;         ///< RaW stall cycles this round
+    std::vector<std::size_t> arbiterAfter;  ///< post-round PE cursors
+};
+
+/** Round-entry state the dynamics depend on (and nothing else). */
+struct RoundKey
+{
+    std::vector<int> owners;               ///< row→PE map
+    std::vector<std::size_t> arbiter;      ///< per-PE arbiter cursors
+    int netParity = 0;  ///< Omega input-priority toggle (0 when unused)
+
+    bool
+    operator==(const RoundKey &o) const
+    {
+        return netParity == o.netParity && arbiter == o.arbiter &&
+               owners == o.owners;
+    }
+};
+
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30U)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27U)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31U);
+}
+
+std::uint64_t
+hashKey(const RoundKey &key)
+{
+    std::uint64_t h = mix64(static_cast<std::uint64_t>(key.netParity) + 1);
+    for (int o : key.owners)
+        h = mix64(h ^ static_cast<std::uint64_t>(o));
+    for (std::size_t q : key.arbiter)
+        h = mix64(h ^ static_cast<std::uint64_t>(q));
+    return h;
+}
+
+/** Hash-bucketed memo of simulated rounds; exact key compare on hit. */
+using RoundCache =
+    std::unordered_map<std::uint64_t,
+                       std::vector<std::pair<RoundKey, RoundOutcome>>>;
+
+Count
+rawStallsOf(const std::vector<Pe> &pes)
+{
+    Count total = 0;
+    for (const Pe &pe : pes)
+        if (const Counter *cn = pe.stats().find("rawStallCycles"))
+            total += cn->value();
+    return total;
+}
+
 } // namespace
 
 SpmmEngine::SpmmEngine(const AccelConfig &cfg) : cfg_(cfg)
@@ -70,6 +140,7 @@ SpmmEngine::execute(const CscMatrix &a, const DenseMatrix &b, TdqKind kind,
     const int P = cfg_.numPes;
     const Index m = a.rows();
     const Index K = b.cols();
+    const bool batched = cfg_.engine == EngineKind::Batched;
     DenseMatrix c(m, K);
 
     NnzStream stream(a);
@@ -108,7 +179,6 @@ SpmmEngine::execute(const CscMatrix &a, const DenseMatrix &b, TdqKind kind,
     // Per-round bookkeeping reused across rounds.
     std::vector<Value> acc(static_cast<std::size_t>(m), Value(0));
     std::vector<int> accepted(static_cast<std::size_t>(P), 0);
-    std::vector<Cycle> drain(static_cast<std::size_t>(P), 0);
     // Dispatch-side (home-attributed) task counters: what the PESM's
     // distribution-point monitors see. Local sharing smears *execution*
     // across neighbours, but the switchable quantity is row ownership,
@@ -119,11 +189,23 @@ SpmmEngine::execute(const CscMatrix &a, const DenseMatrix &b, TdqKind kind,
     stats.rounds = K;
     stats.perPeTasks.assign(static_cast<std::size_t>(P), 0);
     Cycle now = 0;
+    RoundCache cache;
 
-    for (Index k = 0; k < K; ++k) {
-        std::fill(acc.begin(), acc.end(), Value(0));
+    /**
+     * Event-step one round: the exact per-cycle dynamics both engines
+     * share. Mutates pes/net/now/acc and returns the round's outcome.
+     * The task *values* (b's column k) only flow into `acc`; every
+     * control decision reads structure alone, so the outcome — timing
+     * included — depends only on the RoundKey captured by the caller.
+     */
+    auto simulateRound = [&](Index k) -> RoundOutcome {
         std::fill(home_tasks.begin(), home_tasks.end(), 0);
         for (auto &pe : pes) pe.resetRound();
+        // Align the fabric's input-priority toggles with the global
+        // cycle parity (identity under pure event stepping; required
+        // after the batched engine replayed rounds without ticking).
+        if (use_net) net.setArbitration(static_cast<int>(now & 1));
+        const Count raw_before = rawStallsOf(pes);
         const Cycle round_start = now;
         std::size_t next = 0;    // next flit to dispatch (TDQ-1)
         Count scan_pos = 0;      // TDQ-1 dense-scan pointer
@@ -245,15 +327,11 @@ SpmmEngine::execute(const CscMatrix &a, const DenseMatrix &b, TdqKind kind,
             if (done) break;
         }
 
-        // Commit the finished column of C.
-        for (Index r = 0; r < m; ++r)
-            c.at(r, k) = acc[static_cast<std::size_t>(r)];
-
-        // Round accounting.
-        const Cycle round_cycles = now - round_start;
+        RoundOutcome out;
+        out.roundCycles = now - round_start;
         if (std::getenv("AWB_DEBUG_ROUND") && k == 0) {
             std::fprintf(stderr, "round0 cycles=%lld\n",
-                         static_cast<long long>(round_cycles));
+                         static_cast<long long>(out.roundCycles));
             for (int p = 0; p < P; ++p) {
                 std::fprintf(stderr, "pe%02d exec=%lld home=%lld last=%lld\n",
                     p,
@@ -266,32 +344,104 @@ SpmmEngine::execute(const CscMatrix &a, const DenseMatrix &b, TdqKind kind,
                         round_start));
             }
         }
-        stats.roundCycles.push_back(round_cycles);
-        Count round_tasks = 0;
-        RoundObservation obs;
-        obs.peWork.resize(static_cast<std::size_t>(P));
-        obs.drainCycle.resize(static_cast<std::size_t>(P));
+        out.homeTasks = home_tasks;
+        out.execTasks.resize(static_cast<std::size_t>(P));
+        out.drainCycle.resize(static_cast<std::size_t>(P));
+        out.arbiterAfter.resize(static_cast<std::size_t>(P));
         for (int p = 0; p < P; ++p) {
-            Count t = pes[static_cast<std::size_t>(p)].tasksThisRound();
+            const Pe &pe = pes[static_cast<std::size_t>(p)];
+            Count t = pe.tasksThisRound();
+            out.execTasks[static_cast<std::size_t>(p)] = t;
+            // homeTasks: home-attributed load (what row swaps change);
+            // drainCycle: the actual empty-signal timing the PESM sees.
+            Cycle last = pe.lastBusyCycle();
+            out.drainCycle[static_cast<std::size_t>(p)] =
+                (t > 0 && last >= round_start) ? last - round_start : 0;
+            out.arbiterAfter[static_cast<std::size_t>(p)] =
+                pe.arbiterCursor();
+        }
+        out.rawStallDelta = rawStallsOf(pes) - raw_before;
+        return out;
+    };
+
+    for (Index k = 0; k < K; ++k) {
+        std::fill(acc.begin(), acc.end(), Value(0));
+
+        // Batched engine: replay a previously simulated round whose
+        // entry state matches, instead of event-stepping it again.
+        const RoundOutcome *replayed = nullptr;
+        std::uint64_t h = 0;
+        RoundKey key;
+        if (batched) {
+            key.owners = partition.owners();
+            key.arbiter.resize(static_cast<std::size_t>(P));
+            for (int p = 0; p < P; ++p)
+                key.arbiter[static_cast<std::size_t>(p)] =
+                    pes[static_cast<std::size_t>(p)].arbiterCursor();
+            key.netParity = use_net ? static_cast<int>(now & 1) : 0;
+            h = hashKey(key);
+            auto bucket = cache.find(h);
+            if (bucket != cache.end()) {
+                for (const auto &entry : bucket->second) {
+                    if (entry.first == key) {
+                        replayed = &entry.second;
+                        break;
+                    }
+                }
+            }
+        }
+
+        RoundOutcome simulated;
+        const RoundOutcome *outcome;
+        if (replayed != nullptr) {
+            // Advance the whole round from its cached aggregates. The
+            // functional column is accumulated in non-zero stream order
+            // (the timing replay has no per-task schedule to follow), so
+            // replayed columns may differ from the event engine in
+            // floating-point rounding only.
+            for (std::size_t f = 0; f < n_flits; ++f) {
+                acc[static_cast<std::size_t>(stream.row[f])] +=
+                    stream.val[f] * b.at(stream.col[f], k);
+            }
+            for (int p = 0; p < P; ++p)
+                pes[static_cast<std::size_t>(p)].setArbiterCursor(
+                    replayed->arbiterAfter[static_cast<std::size_t>(p)]);
+            now += replayed->roundCycles;
+            outcome = replayed;
+        } else {
+            simulated = simulateRound(k);
+            ++stats.roundsSimulated;
+            outcome = &simulated;
+            if (batched)
+                cache[h].emplace_back(std::move(key), simulated);
+        }
+
+        // Commit the finished column of C.
+        for (Index r = 0; r < m; ++r)
+            c.at(r, k) = acc[static_cast<std::size_t>(r)];
+
+        // Round accounting.
+        stats.roundCycles.push_back(outcome->roundCycles);
+        Count round_tasks = 0;
+        for (int p = 0; p < P; ++p) {
+            Count t = outcome->execTasks[static_cast<std::size_t>(p)];
             round_tasks += t;
             stats.perPeTasks[static_cast<std::size_t>(p)] += t;
-            // peWork: home-attributed load (what row swaps can change);
-            // drainCycle: the actual empty-signal timing the PESM sees.
-            obs.peWork[static_cast<std::size_t>(p)] =
-                home_tasks[static_cast<std::size_t>(p)];
-            Cycle last = pes[static_cast<std::size_t>(p)].lastBusyCycle();
-            obs.drainCycle[static_cast<std::size_t>(p)] =
-                (t > 0 && last >= round_start) ? last - round_start : 0;
-            drain[static_cast<std::size_t>(p)] =
-                obs.drainCycle[static_cast<std::size_t>(p)];
         }
         stats.tasks += round_tasks;
         stats.idealCycles += (round_tasks + P - 1) / P;
+        stats.rawStalls += outcome->rawStallDelta;
 
         // The rebalance policy auto-tunes the row map for the next round
-        // (the paper's remote switching, or any registered alternative).
-        if (k + 1 < K)
+        // (the paper's remote switching, or any registered alternative);
+        // it digests the same observation whether the round was stepped
+        // or replayed, so auto-tuning trajectories are engine-invariant.
+        if (k + 1 < K) {
+            RoundObservation obs;
+            obs.peWork = outcome->homeTasks;
+            obs.drainCycle = outcome->drainCycle;
             rebalance->observeAndAdjust(obs, row_work, partition);
+        }
     }
 
     stats.cycles = now;
@@ -302,11 +452,13 @@ SpmmEngine::execute(const CscMatrix &a, const DenseMatrix &b, TdqKind kind,
         : 0.0;
     stats.rowsSwitched = rebalance->totalRowsMoved();
     stats.convergedRound = rebalance->convergedRound();
+    // Peak-depth accounting needs no per-round tracking: a replayed
+    // round repeats the dynamics of the simulated round that produced
+    // its cache entry, so it cannot raise any peak the simulated rounds
+    // have not already raised.
     for (const auto &pe : pes) {
         stats.peakQueueDepth =
             std::max(stats.peakQueueDepth, pe.peakQueueDepth());
-        if (const Counter *cn = pe.stats().find("rawStallCycles"))
-            stats.rawStalls += cn->value();
     }
     if (use_net) stats.peakNetworkDepth = net.peakBufferDepth();
     return {std::move(c), std::move(stats)};

@@ -16,6 +16,20 @@
  * rewrite the row map until it converges, after which the tuned map is
  * reused for the remaining columns. A per-column barrier separates rounds
  * (§3.3: synchronization happens when a full column of C is complete).
+ *
+ * Two implementations share one execution loop (AccelConfig::engine):
+ *
+ *  - EngineKind::Event steps every non-zero of every round;
+ *  - EngineKind::Batched exploits that a round's timing is a pure
+ *    function of its entry state — the row partition, the PE arbiter
+ *    cursors and the Omega arbitration parity; task *values* never feed
+ *    back into control — so it event-steps each distinct entry state
+ *    once and replays cached per-round aggregates for repeats. Once the
+ *    rebalance policy converges the state recurs and whole rounds
+ *    advance without simulation, which is what makes Reddit-scale
+ *    cycle-mode sweeps tractable. Timing statistics are bit-identical
+ *    to the event engine by construction (DESIGN.md §6); only the
+ *    floating-point accumulation order of replayed columns differs.
  */
 
 #pragma once
@@ -49,6 +63,10 @@ struct SpmmStats
     std::size_t peakQueueDepth = 0;    ///< worst per-PE TQ occupancy
     std::size_t peakNetworkDepth = 0;  ///< worst Omega buffer occupancy
     Count rounds = 0;
+    /** Rounds that were event-stepped: == rounds for EngineKind::Event;
+     *  smaller under EngineKind::Batched whenever cached round-entry
+     *  states were replayed instead of simulated. */
+    Count roundsSimulated = 0;
     Count rowsSwitched = 0;    ///< rows moved by remote switching
     Count convergedRound = -1; ///< auto-tuning convergence round
     Count rawStalls = 0;       ///< cycles lost to RaW hazards (summed)

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Engine benchmark harness (`awbsim --bench-engine`): runs the same
+ * adjacency SPMM (TDQ-2, the paper's A×(XW) kernel) through both cycle
+ * engines — per-non-zero event stepping and the round-batched engine
+ * (DESIGN.md §6) — across a dataset × PE × policy grid, measuring
+ * wall-clock and simulated cycles, cross-checking that the two engines
+ * agree bit for bit, and optionally adding a Reddit-scale batched-only
+ * point that the event engine cannot complete in reasonable time.
+ *
+ * Emits the `awbsim-bench-engine-v1` JSON document (BENCH_engine.json),
+ * the repo's tracked perf-trajectory baseline: CI uploads it as the
+ * `bench-engine` artifact on every push. Implemented in
+ * bench/bench_engine.cpp (compiled into the awbsim binary).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace awb::driver {
+
+/** Grid axes and knobs of one benchmark run. */
+struct BenchEngineOptions
+{
+    std::vector<std::string> datasets = {"cora", "citeseer", "pubmed"};
+    std::vector<int> peCounts = {64, 256};
+    std::vector<std::string> policies = {"baseline", "remote-d"};
+    /** Dense-operand column count (rounds). One uniform K makes engine
+     *  wall-clocks comparable across datasets; 64 is the Reddit/Nell
+     *  hidden dimension, the scale the batched engine exists for. */
+    Index k = 64;
+    /** When > 0, append a Reddit point at this PE count, run on the
+     *  batched engine only. */
+    int redditPes = 0;
+    std::string redditPolicy = "remote-d";
+    std::uint64_t seed = 1;
+    double scale = 1.0;
+    std::string jsonPath = "BENCH_engine.json";
+};
+
+/**
+ * Run the grid, print a table, write the JSON document. Returns 0 on
+ * success, 1 when any event/batched pair disagreed on cycles,
+ * rowsSwitched or convergedRound (the equivalence gate CI relies on).
+ */
+int runBenchEngine(const BenchEngineOptions &opts);
+
+/** CLI front-end for `awbsim --bench-engine`; returns the exit code. */
+int runBenchEngineCli(int argc, char **argv, int first);
+
+} // namespace awb::driver

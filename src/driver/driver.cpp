@@ -7,26 +7,13 @@
 
 #include "accel/policy.hpp"
 #include "common/log.hpp"
+#include "driver/bench_engine.hpp"
 #include "driver/scenario.hpp"
 #include "driver/sweep.hpp"
 
 namespace awb::driver {
 
 namespace {
-
-std::vector<std::string>
-splitCsv(const std::string &s)
-{
-    std::vector<std::string> out;
-    std::size_t start = 0;
-    while (start <= s.size()) {
-        std::size_t comma = s.find(',', start);
-        if (comma == std::string::npos) comma = s.size();
-        if (comma > start) out.push_back(s.substr(start, comma - start));
-        start = comma + 1;
-    }
-    return out;
-}
 
 /** Resolve a --designs value to a canonical registered policy name;
  *  the registry fatal()s with a near-miss suggestion on a miss. */
@@ -60,6 +47,11 @@ printUsage()
         "      --modes m1,m2,..    of model|cycle|tdq1|tdq2|graphsage|gin|\n"
         "                          khop (default model; graphsage/gin/khop\n"
         "                          run workload graphs on the Session API)\n"
+        "      --engine E          cycle-engine implementation for the\n"
+        "                          cycle-accurate modes: event (default,\n"
+        "                          per-non-zero stepping) or batched\n"
+        "                          (round-batched, bit-identical stats,\n"
+        "                          Reddit-scale capable; DESIGN.md §6)\n"
         "      --scale S           dataset node-count scale (default 1.0)\n"
         "      --seed N            global seed (default 1)\n"
         "      --threads N         worker threads (default: hardware)\n"
@@ -67,7 +59,22 @@ printUsage()
         "      --json FILE         write JSON document (default\n"
         "                          awbsim_sweep.json; '-' = stdout)\n"
         "      --no-table          suppress the ASCII result table\n"
-        "      --progress          per-point progress lines on stderr\n");
+        "      --progress          per-point progress lines on stderr\n\n"
+        "  awbsim --bench-engine [options]\n"
+        "      Benchmark the event vs. round-batched cycle engines\n"
+        "      (wall-clock + simulated cycles per dataset x PE x policy,\n"
+        "      cross-checked bit-identical) and write the\n"
+        "      awbsim-bench-engine-v1 JSON perf baseline.\n"
+        "      --datasets a,b,..   default cora,citeseer,pubmed\n"
+        "      --pes n1,n2,..      default 64,256\n"
+        "      --policies p1,..    default baseline,remote-d\n"
+        "      --k N               dense-operand columns (default 64)\n"
+        "      --reddit-pes N      also run Reddit at N PEs on the\n"
+        "                          batched engine only (default 0 = skip)\n"
+        "      --reddit-policy P   policy for the Reddit point\n"
+        "                          (default remote-d)\n"
+        "      --seed N / --scale S / --json FILE (default\n"
+        "                          BENCH_engine.json)\n");
 }
 
 int
@@ -123,6 +130,8 @@ runSweepCli(int argc, char **argv, int first)
             opts.modes.clear();
             for (const auto &m : splitCsv(need("--modes")))
                 opts.modes.push_back(parseSweepMode(m));
+        } else if (a == "--engine") {
+            opts.engine = parseEngineKind(need("--engine"));
         } else if (a == "--scale") {
             opts.scale = parseDouble("--scale", need("--scale"));
         } else if (a == "--seed") {
@@ -198,6 +207,8 @@ driverMain(int argc, char **argv)
         return runScenarioCli(cli, /*default_all=*/false);
     }
     if (cmd == "--sweep" || cmd == "sweep") return runSweepCli(argc, argv, 2);
+    if (cmd == "--bench-engine" || cmd == "bench-engine")
+        return runBenchEngineCli(argc, argv, 2);
     printUsage();
     fatal("unknown command: " + cmd);
 }

@@ -98,6 +98,20 @@ parseDouble(const std::string &flag, const std::string &v)
     }
 }
 
+std::vector<std::string>
+splitCsv(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (start <= s.size()) {
+        std::size_t comma = s.find(',', start);
+        if (comma == std::string::npos) comma = s.size();
+        if (comma > start) out.push_back(s.substr(start, comma - start));
+        start = comma + 1;
+    }
+    return out;
+}
+
 ScenarioCli
 parseScenarioCli(int argc, char **argv, int first, bool warn_unknown)
 {

@@ -111,4 +111,7 @@ std::uint64_t parseUint(const std::string &flag, const std::string &v);
 int parseInt(const std::string &flag, const std::string &v);
 double parseDouble(const std::string &flag, const std::string &v);
 
+/** Split a comma-separated CLI value; empty segments are dropped. */
+std::vector<std::string> splitCsv(const std::string &s);
+
 } // namespace awb::driver

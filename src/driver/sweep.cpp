@@ -44,6 +44,7 @@ accumulate(SweepOutcome &out, const SpmmStats &s)
     out.syncCycles += s.syncCycles;
     out.tasks += s.tasks;
     out.rounds += s.rounds;
+    out.roundsSimulated += s.roundsSimulated;
     out.rowsSwitched += s.rowsSwitched;
     out.convergedRound = std::max(out.convergedRound, s.convergedRound);
     out.peakTqDepth = std::max(out.peakTqDepth, s.peakQueueDepth);
@@ -86,6 +87,7 @@ executeOnce(const SweepPoint &p, const SweepOptions &opts)
     // validating, then route validate() into the error row.
     AccelConfig cfg = configureForPolicy(
         PolicyRegistry::instance().get(p.policy), p.pes, hopBase(spec));
+    cfg.engine = opts.engine;
     std::string cfg_err =
         cfg.validate(/*cycle_accurate_tdq2=*/p.mode != SweepMode::Model);
     if (!cfg_err.empty()) {
@@ -329,6 +331,7 @@ sweepToJson(const SweepOptions &opts,
     doc.set("seed", opts.seed);
     doc.set("scale", opts.scale);
     doc.set("repeats", opts.repeats);
+    doc.set("engine", engineKindName(opts.engine));
 
     Json grid = Json::object();
     Json datasets = Json::array();
@@ -370,6 +373,7 @@ sweepToJson(const SweepOptions &opts,
             p.set("rows_switched", o.rowsSwitched);
             p.set("converged_round", o.convergedRound);
             p.set("rounds", o.rounds);
+            p.set("rounds_simulated", o.roundsSimulated);
             p.set("latency_ms", o.latencyMs);
             p.set("inferences_per_kj", o.inferencesPerKj);
             p.set("area_total_clb", o.areaTotalClb);

@@ -56,6 +56,12 @@ struct SweepOptions
                                         "remote-c", "remote-d"};
     std::vector<int> peCounts = {512};
     std::vector<SweepMode> modes = {SweepMode::Model};
+    /** Cycle-engine implementation for the cycle-accurate modes
+     *  (`--engine`): the per-non-zero event engine, or the round-batched
+     *  engine whose statistics are bit-identical but whose wall clock
+     *  makes Reddit-scale cycle sweeps feasible (DESIGN.md §6). Ignored
+     *  by SweepMode::Model. */
+    EngineKind engine = EngineKind::Event;
     double scale = 1.0;        ///< dataset node-count scale
     std::uint64_t seed = 1;    ///< global seed; per-point seeds derive
     int threads = 0;           ///< worker threads; 0 = hardware concurrency
@@ -90,6 +96,9 @@ struct SweepOutcome
     Count rowsSwitched = 0;
     Count convergedRound = -1;     ///< latest auto-tune convergence round
     Count rounds = 0;
+    /** Rounds event-stepped by the cycle engine (< rounds when the
+     *  batched engine replayed cached rounds; 0 in Model mode). */
+    Count roundsSimulated = 0;
     double latencyMs = 0.0;        ///< at the paper's 275 MHz
     double inferencesPerKj = 0.0;
     double areaTotalClb = 0.0;

@@ -142,6 +142,19 @@ loadSynthetic(const DatasetSpec &spec, std::uint64_t seed, double scale)
     return ds;
 }
 
+CscMatrix
+loadSyntheticAdjacency(const DatasetSpec &spec, std::uint64_t seed,
+                       double scale)
+{
+    // Same spec scaling and RNG construction as loadSynthetic, so the
+    // adjacency structure and values match it bit for bit; the feature
+    // draws simply never happen.
+    DatasetSpec s = scaledSpec(spec, scale);
+    Rng rng(seed ^ 0x9e3779b97f4a7c15ULL, std::hash<std::string>{}(s.name));
+    return normalizeAdjacencyCsc(synthesizeAdjacency(rng, genParams(s)),
+                                 /*add_self_loops=*/true);
+}
+
 Dataset
 loadSyntheticByName(const std::string &name, std::uint64_t seed, double scale)
 {

@@ -101,6 +101,16 @@ Dataset loadSyntheticByName(const std::string &name, std::uint64_t seed = 1,
                             double scale = 1.0);
 
 /**
+ * Build only the normalized adjacency of a dataset — bit-identical to
+ * the `adjacency` member loadSynthetic() would produce for the same
+ * (spec, seed, scale), without materializing the feature matrix. Used
+ * by single-SPMM benchmarks (bench/bench_engine.cpp) where features
+ * would dominate memory at Reddit scale.
+ */
+CscMatrix loadSyntheticAdjacency(const DatasetSpec &spec,
+                                 std::uint64_t seed = 1, double scale = 1.0);
+
+/**
  * Build only the per-row workload profile (degree sequences), matched to
  * the same distributions loadSynthetic() uses. O(nodes) time and memory.
  */

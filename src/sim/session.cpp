@@ -93,6 +93,11 @@ Session::run(const WorkloadGraph &graph, StatsSink *sink)
     };
 
     SessionResult res;
+    // One engine for the whole run. cfg_.engine selects event-stepped or
+    // round-batched execution (DESIGN.md §6); the two are bit-identical
+    // on every statistic and on the auto-tuned row maps carried below,
+    // so Sessions may switch engines between runs without perturbing
+    // the tuning trajectory.
     SpmmEngine engine(cfg_);
 
     // Only sparse-bound operands (stable across run() calls, e.g. the
