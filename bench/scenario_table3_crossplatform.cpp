@@ -10,6 +10,16 @@
  * Absolute numbers are environment-specific; the reproduction targets are
  * the orderings and the rough speedup factors (paper averages: 246.7x vs
  * CPU, 78.9x vs GPU, 2.7x vs baseline, 11.0x vs EIE-like).
+ *
+ * The accelerator rows run behind the off-chip memory model
+ * (DESIGN.md §8). The default platform is `unconstrained`: the paper's
+ * Table 3 graphs fit on-chip on its boards, so the measured ratios are
+ * compute-bound and the memory model must not distort them (and the
+ * unconstrained run is bit-identical to the pre-memory-model scenario).
+ * Pass `platform=NAME` (any `awbsim --list-platforms` entry) to instead
+ * stream every operand from that memory system — on `d5005-ddr4` the
+ * designs converge as rounds hit the bandwidth floor, which is exactly
+ * the claim that workload balancing only pays where memory keeps up.
  */
 
 #include <cstdio>
@@ -21,6 +31,7 @@
 #include "gcn/model.hpp"
 #include "gcn/ops_count.hpp"
 #include "model/energy_model.hpp"
+#include "model/memory_model.hpp"
 #include "model/platforms.hpp"
 
 using namespace awb;
@@ -33,12 +44,16 @@ runTable3(driver::ScenarioContext &ctx)
     // The 'measure-all' argument additionally wall-clock-measures Nell
     // and Reddit on the host CPU (minutes of runtime, ~1.5 GB RSS).
     bool measure_all = false;
-    for (const auto &a : ctx.args)
+    std::string accel_platform = "unconstrained";
+    for (const auto &a : ctx.args) {
         if (a == "measure-all" || a == "--measure-all") measure_all = true;
+        if (a.rfind("platform=", 0) == 0)
+            accel_platform = findPlatform(a.substr(9)).name;
+    }
 
     const double kFpgaMhz = 275.0, kEieMhz = 285.0;
     Table t({"dataset", "platform", "freq", "latency (ms)",
-             "inference/kJ", "AWB speedup"});
+             "inference/kJ", "bw-bound", "AWB speedup"});
     double sum_cpu = 0, sum_gpu = 0, sum_base = 0, sum_eie = 0;
     int n_rows = 0;
 
@@ -66,37 +81,58 @@ runTable3(driver::ScenarioContext &ctx)
         auto gpu = evaluateFixedPower(modelGpuLatencyMs(ops, 2),
                                       GpuModelConstants{}.watts);
 
-        // --- Accelerator rows from the round-level model.
+        // --- Accelerator rows from the round-level model, fed from the
+        // selected off-chip memory system (DESIGN.md §8).
+        struct AccelRow
+        {
+            EnergyReport energy;
+            Count bwBoundRounds = 0;
+            Count rounds = 0;
+        };
         auto run_design = [&](Design d, double mhz) {
             AccelConfig cfg = makeConfig(d, 1024, hopBase(spec));
+            cfg.platform = accel_platform;
             auto res = PerfModel(cfg).runGcn(prof);
-            return evaluateEnergy(res.totalCycles, res.totalTasks, mhz);
+            AccelRow r;
+            r.energy =
+                evaluateEnergy(res.totalCycles, res.totalTasks, mhz);
+            r.bwBoundRounds = res.bwBoundRounds;
+            for (const auto &layer : res.layers)
+                r.rounds += layer.xw.rounds + layer.ax.rounds;
+            return r;
         };
         auto eie = run_design(Design::EieLike, kEieMhz);
         auto base = run_design(Design::Baseline, kFpgaMhz);
         auto awb = run_design(Design::RemoteD, kFpgaMhz);
 
         auto row = [&](const char *platform, const char *freq,
-                       const EnergyReport &r) {
+                       const EnergyReport &r, const AccelRow *accel) {
             t.addRow({bench::datasetLabel(spec), platform, freq,
                       fixed(r.latencyMs, r.latencyMs < 1 ? 4 : 2),
                       humanCount(r.inferencesPerKj),
-                      fixed(r.latencyMs / awb.latencyMs, 1) + "x"});
+                      accel ? std::to_string(accel->bwBoundRounds) + "/" +
+                                  std::to_string(accel->rounds)
+                            : std::string("-"),
+                      fixed(r.latencyMs / awb.energy.latencyMs, 1) + "x"});
         };
-        row(cpu_tag.c_str(), "2.2GHz", cpu);
-        row("GPU P100 (analytic)", "1.3GHz", gpu);
-        row("EIE-like", "285MHz", eie);
-        row("Baseline", "275MHz", base);
-        row("AWB-GCN (D)", "275MHz", awb);
+        row(cpu_tag.c_str(), "2.2GHz", cpu, nullptr);
+        row("GPU P100 (analytic)", "1.3GHz", gpu, nullptr);
+        row("EIE-like", "285MHz", eie.energy, &eie);
+        row("Baseline", "275MHz", base.energy, &base);
+        row("AWB-GCN (D)", "275MHz", awb.energy, &awb);
 
-        sum_cpu += cpu.latencyMs / awb.latencyMs;
-        sum_gpu += gpu.latencyMs / awb.latencyMs;
-        sum_base += base.latencyMs / awb.latencyMs;
-        sum_eie += eie.latencyMs / awb.latencyMs;
+        sum_cpu += cpu.latencyMs / awb.energy.latencyMs;
+        sum_gpu += gpu.latencyMs / awb.energy.latencyMs;
+        sum_base += base.energy.latencyMs / awb.energy.latencyMs;
+        sum_eie += eie.energy.latencyMs / awb.energy.latencyMs;
         ++n_rows;
     }
     std::printf("%s", t.render().c_str());
-    std::printf("\nAverage AWB-GCN speedups: %.1fx vs CPU, %.1fx vs GPU, "
+    std::printf("\nAccelerator rows fed from '%s' off-chip memory "
+                "(bw-bound = rounds stretched to the bandwidth floor; "
+                "try platform=d5005-ddr4).\n",
+                accel_platform.c_str());
+    std::printf("Average AWB-GCN speedups: %.1fx vs CPU, %.1fx vs GPU, "
                 "%.1fx vs EIE-like, %.2fx vs baseline\n",
                 sum_cpu / n_rows, sum_gpu / n_rows, sum_eie / n_rows,
                 sum_base / n_rows);

@@ -2,6 +2,7 @@
 
 #include "accel/policy.hpp"
 #include "common/log.hpp"
+#include "model/memory_model.hpp"
 
 namespace awb {
 
@@ -67,6 +68,9 @@ AccelConfig::validate(bool cycle_accurate_tdq2) const
         return "unknown balance policy '" + balancePolicy +
                "' — did you mean '" +
                PolicyRegistry::instance().nearest(balancePolicy) + "'?";
+    if (!platform.empty() && findPlatformOrNull(platform) == nullptr)
+        return "unknown platform '" + platform + "' (" +
+               knownPlatformNames() + ")";
     // Only the cycle-accurate TDQ-2 path requires a power-of-two PE count
     // (Omega network); the round-level model accepts any size (the
     // paper's Fig. 15 sweeps 512/768/1024).

@@ -111,6 +111,11 @@ struct AccelConfig
      *  the legacy fields (mapPolicy, remoteSwitching), which is what the
      *  hand-built configs of tests and ablations rely on. */
     std::string balancePolicy;
+    /** Registered platform name (model/memory_model.hpp) bounding the
+     *  off-chip bandwidth of both fidelities. Empty = `unconstrained`:
+     *  no bandwidth floor is composed and timing is bit-identical to a
+     *  build without the memory model (DESIGN.md §8). */
+    std::string platform;
 
     /** True when this configuration performs any runtime rebalancing. */
     bool rebalancing() const { return sharingHops > 0 || remoteSwitching; }
@@ -121,7 +126,8 @@ struct AccelConfig
      * watchdog, ...) and for nonsensical field combinations (remote
      * switching on fewer than 2 PEs, a sharing window wider than the PE
      * array, the Eq. 5 shift approximation without remote switching, an
-     * unregistered balancePolicy name). With `cycle_accurate_tdq2`,
+     * unregistered balancePolicy or platform name). With
+     * `cycle_accurate_tdq2`,
      * additionally require the power-of-two PE count the Omega network
      * needs. Returns an empty string when valid, else a descriptive
      * error; callers surface the message (CLI error rows, fatal())

@@ -91,7 +91,7 @@ PerfModel::balancedDrain(const std::vector<Count> &pe_work, int hops,
 
 PerfSpmmResult
 PerfModel::runSpmm(const std::vector<Count> &row_work, Index rounds,
-                   RowPartition &partition) const
+                   RowPartition &partition, Index inner_dim) const
 {
     const int P = cfg_.numPes;
     PerfSpmmResult res;
@@ -102,6 +102,17 @@ PerfModel::runSpmm(const std::vector<Count> &row_work, Index rounds,
         makeRebalancePolicy(cfg_, partition.rows());
     res.perPeTasks.assign(static_cast<std::size_t>(P), 0);
     const Cycle overhead = cfg_.macLatency + log2i(P) + 2;
+
+    // Off-chip memory model (DESIGN.md §8): same accounting and
+    // roofline composition as the cycle engine, at round granularity.
+    const MemoryModel mem(findPlatform(cfg_.platform),
+                          policyClockMhz(cfg_));
+    const Count total_nnz =
+        std::accumulate(row_work.begin(), row_work.end(), Count(0));
+    const MemoryTraffic steady_traffic = mem.roundTraffic(
+        total_nnz, inner_dim > 0 ? inner_dim : partition.rows(),
+        partition.rows());
+    Count pending_migration_bytes = 0;
 
     std::vector<Count> served;
     for (Index k = 0; k < rounds; ++k) {
@@ -120,6 +131,20 @@ PerfModel::runSpmm(const std::vector<Count> &row_work, Index rounds,
         }
         Cycle inject = (total + P - 1) / P;
         Cycle round_cycles = std::max(drain, inject) + overhead;
+
+        // Roofline composition with the bandwidth-bound floor; rows the
+        // policy moved after round k-1 bill their migration here.
+        MemoryTraffic round_traffic = steady_traffic;
+        round_traffic.migrationBytes = pending_migration_bytes;
+        pending_migration_bytes = 0;
+        res.traffic += round_traffic;
+        const Cycle bw_floor = mem.floorCycles(round_traffic.total());
+        res.memoryCycles += bw_floor;
+        if (bw_floor > round_cycles) {
+            ++res.bwBoundRounds;
+            round_cycles = bw_floor;
+        }
+
         res.roundCycles.push_back(round_cycles);
         res.cycles += round_cycles;
         res.tasks += total;
@@ -144,7 +169,10 @@ PerfModel::runSpmm(const std::vector<Count> &row_work, Index rounds,
             RoundObservation obs;
             obs.peWork = std::move(pe_work);
             obs.drainCycle.assign(served.begin(), served.end());
+            std::vector<int> owners_before = partition.owners();
             rebalance->observeAndAdjust(obs, row_work, partition);
+            pending_migration_bytes = mem.migrationBytes(
+                owners_before, partition.owners(), row_work);
         }
     }
 
@@ -174,22 +202,30 @@ PerfModel::runGcn(const WorkloadProfile &profile) const
     {
         const std::vector<Count> *xRow;
         Index rounds;
+        Index innerDim;  ///< feature width of X (streamed W column)
     };
     const LayerIn layers[2] = {
-        {&profile.x1RowNnz, profile.spec.f2},
-        {&profile.x2RowNnz, profile.spec.f3},
+        {&profile.x1RowNnz, profile.spec.f2, profile.spec.f1},
+        {&profile.x2RowNnz, profile.spec.f3, profile.spec.f2},
     };
 
+    auto fold = [&res](const PerfSpmmResult &s) {
+        res.traffic += s.traffic;
+        res.memoryCycles += s.memoryCycles;
+        res.bwBoundRounds += s.bwBoundRounds;
+    };
     for (const LayerIn &li : layers) {
         PerfGcnResult::Layer layer;
         RowPartition part_x = partitioner->build(n, *li.xRow, cfg_);
-        layer.xw = runSpmm(*li.xRow, li.rounds, part_x);
-        layer.ax = runSpmm(profile.aRowNnz, li.rounds, part_a);
+        layer.xw = runSpmm(*li.xRow, li.rounds, part_x, li.innerDim);
+        layer.ax = runSpmm(profile.aRowNnz, li.rounds, part_a, n);
         layer.pipelinedCycles =
             pipelineCycles(layer.xw.roundCycles, layer.ax.roundCycles);
         res.totalCycles += layer.pipelinedCycles;
         res.totalCyclesSerial += layer.xw.cycles + layer.ax.cycles;
         res.totalTasks += layer.xw.tasks + layer.ax.tasks;
+        fold(layer.xw);
+        fold(layer.ax);
         res.layers.push_back(std::move(layer));
     }
 

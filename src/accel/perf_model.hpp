@@ -24,6 +24,7 @@
 #include "accel/config.hpp"
 #include "accel/row_map.hpp"
 #include "graph/datasets.hpp"
+#include "model/memory_model.hpp"
 
 namespace awb {
 
@@ -39,6 +40,10 @@ struct PerfSpmmResult
     Count rowsSwitched = 0;
     Count convergedRound = -1;
     std::size_t peakQueueDepth = 0;
+    /** Off-chip traffic accounted by the memory model (DESIGN.md §8). */
+    MemoryTraffic traffic;
+    Cycle memoryCycles = 0;   ///< summed per-round bandwidth floors
+    Count bwBoundRounds = 0;  ///< rounds stretched to their floor
     std::vector<Cycle> roundCycles;
     std::vector<Count> perPeTasks;  ///< modelled executed tasks per PE
 };
@@ -57,6 +62,9 @@ struct PerfGcnResult
     Cycle totalCyclesSerial = 0;
     Count totalTasks = 0;
     double utilization = 0.0;
+    MemoryTraffic traffic;        ///< summed over every SPMM
+    Cycle memoryCycles = 0;
+    Count bwBoundRounds = 0;
 };
 
 /** The model. Stateless between runs apart from configuration. */
@@ -71,9 +79,14 @@ class PerfModel
      * @param row_work   tasks per sparse-operand row (its row-nnz)
      * @param rounds     dense-operand column count
      * @param partition  row map, mutated by remote switching
+     * @param inner_dim  columns of the sparse operand == length of the
+     *                   streamed dense column (memory-traffic
+     *                   accounting); 0 = square operand, use the
+     *                   partition's row count (the adjacency case)
      */
     PerfSpmmResult runSpmm(const std::vector<Count> &row_work, Index rounds,
-                           RowPartition &partition) const;
+                           RowPartition &partition,
+                           Index inner_dim = 0) const;
 
     /**
      * Model a full 2-layer GCN inference from a workload profile

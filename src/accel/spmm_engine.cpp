@@ -157,6 +157,15 @@ SpmmEngine::execute(const CscMatrix &a, const DenseMatrix &b, TdqKind kind,
     LocalSharer sharer(cfg_.sharingHops);
     std::unique_ptr<RebalancePolicy> rebalance =
         makeRebalancePolicy(cfg_, m);
+    // Off-chip memory model (DESIGN.md §8): per-round traffic is
+    // accounted on every platform; a bandwidth-bound cycle floor is
+    // composed roofline-style only when the platform is constrained, so
+    // the unconstrained default is a provable timing no-op.
+    const MemoryModel mem(findPlatform(cfg_.platform),
+                          policyClockMhz(cfg_));
+    const MemoryTraffic steady_traffic =
+        mem.roundTraffic(a.nnz(), a.cols(), m);
+    Count pending_migration_bytes = 0;
     const bool use_net = (kind == TdqKind::Tdq2OmegaCsc) && P >= 2;
     OmegaNetwork net(std::max(P, 2), cfg_.omegaBufferDepth,
                      cfg_.networkSpeedup);
@@ -420,8 +429,26 @@ SpmmEngine::execute(const CscMatrix &a, const DenseMatrix &b, TdqKind kind,
         for (Index r = 0; r < m; ++r)
             c.at(r, k) = acc[static_cast<std::size_t>(r)];
 
+        // Memory-traffic accounting and roofline composition: row
+        // migrations ordered after round k-1 must land before this
+        // round's stream, so their bytes bill to this round's floor.
+        MemoryTraffic round_traffic = steady_traffic;
+        round_traffic.migrationBytes = pending_migration_bytes;
+        pending_migration_bytes = 0;
+        stats.traffic += round_traffic;
+        Cycle round_duration = outcome->roundCycles;
+        const Cycle bw_floor = mem.floorCycles(round_traffic.total());
+        stats.memoryCycles += bw_floor;
+        if (bw_floor > round_duration) {
+            // Bandwidth-bound: the PE array idles until the off-chip
+            // stream completes; the round stretches to the floor.
+            ++stats.bwBoundRounds;
+            now += bw_floor - round_duration;
+            round_duration = bw_floor;
+        }
+
         // Round accounting.
-        stats.roundCycles.push_back(outcome->roundCycles);
+        stats.roundCycles.push_back(round_duration);
         Count round_tasks = 0;
         for (int p = 0; p < P; ++p) {
             Count t = outcome->execTasks[static_cast<std::size_t>(p)];
@@ -440,7 +467,16 @@ SpmmEngine::execute(const CscMatrix &a, const DenseMatrix &b, TdqKind kind,
             RoundObservation obs;
             obs.peWork = outcome->homeTasks;
             obs.drainCycle = outcome->drainCycle;
+            // Rows the policy moves must migrate between the PEs'
+            // banks before the next round streams them. Static policies
+            // never move rows, so skip the owner snapshot for them.
+            std::vector<int> owners_before;
+            if (rebalance->wantsObservations())
+                owners_before = partition.owners();
             rebalance->observeAndAdjust(obs, row_work, partition);
+            if (!owners_before.empty())
+                pending_migration_bytes = mem.migrationBytes(
+                    owners_before, partition.owners(), row_work);
         }
     }
 

@@ -39,6 +39,7 @@
 
 #include "accel/config.hpp"
 #include "accel/row_map.hpp"
+#include "model/memory_model.hpp"
 #include "sparse/csc.hpp"
 #include "sparse/dense.hpp"
 
@@ -70,7 +71,17 @@ struct SpmmStats
     Count rowsSwitched = 0;    ///< rows moved by remote switching
     Count convergedRound = -1; ///< auto-tuning convergence round
     Count rawStalls = 0;       ///< cycles lost to RaW hazards (summed)
-    std::vector<Cycle> roundCycles;   ///< per-round duration (pipelining)
+    /** Off-chip traffic accounted by the memory model (DESIGN.md §8);
+     *  filled on every platform, unconstrained included. */
+    MemoryTraffic traffic;
+    /** Sum over rounds of the bandwidth-bound cycle floor; 0 on an
+     *  unconstrained platform. */
+    Cycle memoryCycles = 0;
+    /** Rounds whose bandwidth floor exceeded their compute cycles (the
+     *  round was stretched to the floor). */
+    Count bwBoundRounds = 0;
+    std::vector<Cycle> roundCycles;   ///< per-round duration incl. any
+                                      ///< bandwidth stretch (pipelining)
     std::vector<Count> perPeTasks;    ///< executed tasks per PE (heat map)
 };
 

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Cross-platform memory-model baseline (`awbsim --bench-memory`): runs
+ * the round-level GCN model (full-scale capable) across a dataset ×
+ * policy × platform grid, records the bandwidth-bound share of every
+ * point (DESIGN.md §8), verifies the no-op gate — on the
+ * `unconstrained` platform the bandwidth floor must never engage
+ * (`memory_cycles == 0`, `bw_bound_rounds == 0`), the property that
+ * makes the roofline composition the identity; the bit-identity to
+ * platform-less configs is locked by tests/test_memory_model.cpp —
+ * and emits the `awbsim-bench-memory-v1` JSON document
+ * (BENCH_memory.json), tracked in-repo and uploaded by CI as the
+ * `bench-memory` artifact with the equivalence gate on the exit code.
+ * Implemented in bench/bench_memory.cpp (compiled into awbsim).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace awb::driver {
+
+/** Grid axes and knobs of one memory-model benchmark run. */
+struct BenchMemoryOptions
+{
+    std::vector<std::string> datasets = {"cora", "citeseer", "pubmed",
+                                         "nell", "reddit"};
+    std::vector<std::string> policies = {"baseline", "remote-d"};
+    /** Platform axis; empty = every registered platform. */
+    std::vector<std::string> platforms;
+    int pes = 1024;  ///< PE-array size (the paper's Table 3 operating point)
+    std::uint64_t seed = 1;
+    double scale = 1.0;
+    std::string jsonPath = "BENCH_memory.json";
+};
+
+/**
+ * Run the grid, print a table, write the JSON document. Returns 0 on
+ * success, 1 when the no-op gate failed (the bandwidth floor engaged
+ * on an unconstrained platform) — the gate CI relies on.
+ */
+int runBenchMemory(const BenchMemoryOptions &opts);
+
+/** CLI front-end for `awbsim --bench-memory`; returns the exit code. */
+int runBenchMemoryCli(int argc, char **argv, int first);
+
+} // namespace awb::driver

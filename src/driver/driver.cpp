@@ -8,8 +8,10 @@
 #include "accel/policy.hpp"
 #include "common/log.hpp"
 #include "driver/bench_engine.hpp"
+#include "driver/bench_memory.hpp"
 #include "driver/scenario.hpp"
 #include "driver/sweep.hpp"
+#include "model/memory_model.hpp"
 
 namespace awb::driver {
 
@@ -33,6 +35,9 @@ printUsage()
         "  awbsim --list-designs\n"
         "      List every registered balance policy (paper designs plus\n"
         "      extensions) usable with --designs.\n\n"
+        "  awbsim --list-platforms\n"
+        "      List every registered off-chip memory platform usable\n"
+        "      with --platforms (DESIGN.md §8).\n\n"
         "  awbsim run <scenario ...> [--seed N] [--scale S] [--repeat N]\n"
         "             [--json FILE] [args ...]\n"
         "      Run scenarios by name ('all' = every one). Extra\n"
@@ -52,6 +57,9 @@ printUsage()
         "                          per-non-zero stepping) or batched\n"
         "                          (round-batched, bit-identical stats,\n"
         "                          Reddit-scale capable; DESIGN.md §6)\n"
+        "      --platforms p1,..   off-chip memory platform axis (default\n"
+        "                          unconstrained = no bandwidth bound;\n"
+        "                          see --list-platforms; DESIGN.md §8)\n"
         "      --scale S           dataset node-count scale (default 1.0)\n"
         "      --seed N            global seed (default 1)\n"
         "      --threads N         worker threads (default: hardware)\n"
@@ -74,7 +82,20 @@ printUsage()
         "      --reddit-policy P   policy for the Reddit point\n"
         "                          (default remote-d)\n"
         "      --seed N / --scale S / --json FILE (default\n"
-        "                          BENCH_engine.json)\n");
+        "                          BENCH_engine.json)\n\n"
+        "  awbsim --bench-memory [options]\n"
+        "      Cross-platform memory-model baseline: run the round-level\n"
+        "      GCN model across dataset x policy x platform, verify the\n"
+        "      unconstrained platform is a timing no-op (the equivalence\n"
+        "      gate CI relies on) and write the awbsim-bench-memory-v1\n"
+        "      JSON document (BENCH_memory.json).\n"
+        "      --datasets a,b,..   default cora,citeseer,pubmed,nell,"
+        "reddit\n"
+        "      --policies p1,..    default baseline,remote-d\n"
+        "      --platforms p1,..   default every registered platform\n"
+        "      --pes N             PE-array size (default 1024)\n"
+        "      --seed N / --scale S / --json FILE (default\n"
+        "                          BENCH_memory.json)\n");
 }
 
 int
@@ -100,6 +121,22 @@ listDesigns()
         std::printf("  %-14s %-10s %s%s%s\n", p->name.c_str(),
                     ("[" + p->label + "]").c_str(), p->description.c_str(),
                     aliases.empty() ? "" : "  alias: ", aliases.c_str());
+    }
+    return 0;
+}
+
+int
+listPlatforms()
+{
+    const auto &all = knownPlatforms();
+    std::printf("%zu registered platforms:\n", all.size());
+    for (const PlatformSpec &p : all) {
+        if (p.bandwidthGBs > 0.0)
+            std::printf("  %-14s %7.1f GB/s  %s\n", p.name.c_str(),
+                        p.bandwidthGBs, p.description.c_str());
+        else
+            std::printf("  %-14s %12s  %s\n", p.name.c_str(), "--",
+                        p.description.c_str());
     }
     return 0;
 }
@@ -132,6 +169,10 @@ runSweepCli(int argc, char **argv, int first)
                 opts.modes.push_back(parseSweepMode(m));
         } else if (a == "--engine") {
             opts.engine = parseEngineKind(need("--engine"));
+        } else if (a == "--platforms" || a == "--platform") {
+            opts.platforms.clear();
+            for (const auto &p : splitCsv(need("--platforms")))
+                opts.platforms.push_back(findPlatform(p).name);
         } else if (a == "--scale") {
             opts.scale = parseDouble("--scale", need("--scale"));
         } else if (a == "--seed") {
@@ -151,7 +192,8 @@ runSweepCli(int argc, char **argv, int first)
         }
     }
     if (opts.datasets.empty() || opts.designs.empty() ||
-        opts.peCounts.empty() || opts.modes.empty())
+        opts.peCounts.empty() || opts.modes.empty() ||
+        opts.platforms.empty())
         fatal("sweep grid has an empty axis");
 
     std::vector<SweepPoint> points = expandGrid(opts);
@@ -197,6 +239,7 @@ driverMain(int argc, char **argv)
     if (cmd == "--list-scenarios" || cmd == "list") return listScenarios();
     if (cmd == "--list-designs" || cmd == "--list-policies")
         return listDesigns();
+    if (cmd == "--list-platforms") return listPlatforms();
     if (cmd == "run") {
         ScenarioCli cli = parseScenarioCli(argc, argv, 2,
                                            /*warn_unknown=*/true);
@@ -209,6 +252,8 @@ driverMain(int argc, char **argv)
     if (cmd == "--sweep" || cmd == "sweep") return runSweepCli(argc, argv, 2);
     if (cmd == "--bench-engine" || cmd == "bench-engine")
         return runBenchEngineCli(argc, argv, 2);
+    if (cmd == "--bench-memory" || cmd == "bench-memory")
+        return runBenchMemoryCli(argc, argv, 2);
     printUsage();
     fatal("unknown command: " + cmd);
 }

@@ -1,5 +1,6 @@
 #include "driver/json.hpp"
 
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 
@@ -37,9 +38,16 @@ std::string
 jsonNumber(double v)
 {
     if (!std::isfinite(v)) return "null";  // JSON has no inf/nan
+    // std::to_chars is locale-independent by definition; snprintf("%.12g")
+    // consults the process LC_NUMERIC and emits a decimal *comma* under
+    // e.g. de_DE.UTF-8 — invalid JSON, and a break of the byte-identical
+    // sweep-output guarantee. The general/12 form matches C-locale
+    // "%.12g" byte for byte (locked by tests/test_driver.cpp).
     char buf[40];
-    std::snprintf(buf, sizeof(buf), "%.12g", v);
-    return buf;
+    auto res = std::to_chars(buf, buf + sizeof(buf), v,
+                             std::chars_format::general, 12);
+    if (res.ec != std::errc()) panic("jsonNumber: to_chars failed");
+    return std::string(buf, res.ptr);
 }
 
 void

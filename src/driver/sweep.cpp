@@ -17,6 +17,7 @@
 #include "graph/datasets.hpp"
 #include "model/area_model.hpp"
 #include "model/energy_model.hpp"
+#include "model/memory_model.hpp"
 #include "sim/factories.hpp"
 #include "sim/session.hpp"
 #include "sparse/convert.hpp"
@@ -48,6 +49,9 @@ accumulate(SweepOutcome &out, const SpmmStats &s)
     out.rowsSwitched += s.rowsSwitched;
     out.convergedRound = std::max(out.convergedRound, s.convergedRound);
     out.peakTqDepth = std::max(out.peakTqDepth, s.peakQueueDepth);
+    out.bytesTotal += s.traffic.total();
+    out.memoryCycles += s.memoryCycles;
+    out.bwBoundRounds += s.bwBoundRounds;
 }
 
 void
@@ -59,6 +63,9 @@ accumulate(SweepOutcome &out, const PerfSpmmResult &s)
     out.rowsSwitched += s.rowsSwitched;
     out.convergedRound = std::max(out.convergedRound, s.convergedRound);
     out.peakTqDepth = std::max(out.peakTqDepth, s.peakQueueDepth);
+    out.bytesTotal += s.traffic.total();
+    out.memoryCycles += s.memoryCycles;
+    out.bwBoundRounds += s.bwBoundRounds;
 }
 
 /** Fold a full Session run into the outcome accumulators. */
@@ -88,6 +95,7 @@ executeOnce(const SweepPoint &p, const SweepOptions &opts)
     AccelConfig cfg = configureForPolicy(
         PolicyRegistry::instance().get(p.policy), p.pes, hopBase(spec));
     cfg.engine = opts.engine;
+    cfg.platform = p.platform;
     std::string cfg_err =
         cfg.validate(/*cycle_accurate_tdq2=*/p.mode != SweepMode::Model);
     if (!cfg_err.empty()) {
@@ -239,14 +247,19 @@ expandGrid(const SweepOptions &opts)
                 PolicyRegistry::instance().get(design);
             for (int pes : opts.peCounts) {
                 for (SweepMode mode : opts.modes) {
-                    SweepPoint p;
-                    p.index = points.size();
-                    p.dataset = dataset;
-                    p.policy = pol.name;
-                    p.pes = pes;
-                    p.mode = mode;
-                    p.seed = derivePointSeed(opts.seed, p.index);
-                    points.push_back(std::move(p));
+                    for (const std::string &platform : opts.platforms) {
+                        // Validate early; fatal() on an unknown name.
+                        findPlatform(platform);
+                        SweepPoint p;
+                        p.index = points.size();
+                        p.dataset = dataset;
+                        p.policy = pol.name;
+                        p.platform = platform;
+                        p.pes = pes;
+                        p.mode = mode;
+                        p.seed = derivePointSeed(opts.seed, p.index);
+                        points.push_back(std::move(p));
+                    }
                 }
             }
         }
@@ -298,11 +311,12 @@ runSweep(const SweepOptions &opts, const std::vector<SweepPoint> &points)
             outcomes[i] = runSweepPoint(points[i], opts);
             if (opts.progress) {
                 std::lock_guard<std::mutex> lock(progress_mutex);
-                std::fprintf(stderr, "[%zu/%zu] %s %s %d PEs %s: %s\n",
+                std::fprintf(stderr, "[%zu/%zu] %s %s %d PEs %s on %s: %s\n",
                              i + 1, points.size(),
                              points[i].dataset.c_str(),
                              points[i].policy.c_str(), points[i].pes,
                              sweepModeName(points[i].mode).c_str(),
+                             points[i].platform.c_str(),
                              outcomes[i].ok ? "ok"
                                             : outcomes[i].error.c_str());
             }
@@ -341,6 +355,9 @@ sweepToJson(const SweepOptions &opts,
     for (const std::string &d : opts.designs)
         designs.push(PolicyRegistry::instance().get(d).label);
     grid.set("designs", std::move(designs));
+    Json platforms = Json::array();
+    for (const std::string &p : opts.platforms) platforms.push(p);
+    grid.set("platforms", std::move(platforms));
     Json pes = Json::array();
     for (int p : opts.peCounts) pes.push(p);
     grid.set("pe_counts", std::move(pes));
@@ -357,6 +374,7 @@ sweepToJson(const SweepOptions &opts,
         p.set("design",
               PolicyRegistry::instance().get(o.point.policy).label);
         p.set("policy", o.point.policy);
+        p.set("platform", o.point.platform);
         p.set("pes", o.point.pes);
         p.set("mode", sweepModeName(o.point.mode));
         p.set("seed", o.point.seed);
@@ -374,6 +392,9 @@ sweepToJson(const SweepOptions &opts,
             p.set("converged_round", o.convergedRound);
             p.set("rounds", o.rounds);
             p.set("rounds_simulated", o.roundsSimulated);
+            p.set("bytes_total", o.bytesTotal);
+            p.set("memory_cycles", o.memoryCycles);
+            p.set("bw_bound_rounds", o.bwBoundRounds);
             p.set("latency_ms", o.latencyMs);
             p.set("inferences_per_kj", o.inferencesPerKj);
             p.set("area_total_clb", o.areaTotalClb);

@@ -54,6 +54,11 @@ struct SweepOptions
      *  PolicyRegistry (the paper's five evaluated designs by default). */
     std::vector<std::string> designs = {"baseline", "local-a", "local-b",
                                         "remote-c", "remote-d"};
+    /** Platform axis: registered names from model/memory_model.hpp
+     *  (`--platforms`, see `awbsim --list-platforms`). The default
+     *  `unconstrained` composes no bandwidth floor and reproduces the
+     *  platform-less grids bit for bit (DESIGN.md §8). */
+    std::vector<std::string> platforms = {"unconstrained"};
     std::vector<int> peCounts = {512};
     std::vector<SweepMode> modes = {SweepMode::Model};
     /** Cycle-engine implementation for the cycle-accurate modes
@@ -76,6 +81,7 @@ struct SweepPoint
     std::size_t index = 0;     ///< position in the expanded grid
     std::string dataset;
     std::string policy = "baseline";  ///< canonical balance-policy name
+    std::string platform = "unconstrained";  ///< registered platform name
     int pes = 0;
     SweepMode mode = SweepMode::Model;
     std::uint64_t seed = 0;    ///< derived, deterministic per point
@@ -99,6 +105,9 @@ struct SweepOutcome
     /** Rounds event-stepped by the cycle engine (< rounds when the
      *  batched engine replayed cached rounds; 0 in Model mode). */
     Count roundsSimulated = 0;
+    Count bytesTotal = 0;          ///< modelled off-chip traffic (bytes)
+    Cycle memoryCycles = 0;        ///< summed per-round bandwidth floors
+    Count bwBoundRounds = 0;       ///< rounds stretched to their floor
     double latencyMs = 0.0;        ///< at the paper's 275 MHz
     double inferencesPerKj = 0.0;
     double areaTotalClb = 0.0;

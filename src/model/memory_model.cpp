@@ -1,0 +1,102 @@
+#include "model/memory_model.hpp"
+
+#include <cmath>
+
+#include "common/log.hpp"
+
+namespace awb {
+
+const std::vector<PlatformSpec> &
+knownPlatforms()
+{
+    // Bandwidth figures are the parts' published peaks; the reproduction
+    // target is the cross-platform ordering, not absolute numbers.
+    static const std::vector<PlatformSpec> kPlatforms = {
+        {"unconstrained", "inf BW",
+         "no off-chip bandwidth bound (compute-only, the default)", 0.0},
+        {"ddr4-2400", "DDR4 x1",
+         "single-channel DDR4-2400 (19.2 GB/s): edge/embedded board",
+         19.2},
+        {"d5005-ddr4", "D5005",
+         "Intel FPGA PAC D5005, 4x DDR4-2400 (76.8 GB/s): the paper's "
+         "Stratix 10 SX board class",
+         76.8},
+        {"vcu128-hbm2", "VCU128",
+         "Xilinx VCU128 HBM2 (460 GB/s)", 460.0},
+        {"p100-hbm2", "P100 HBM2",
+         "Tesla P100-class HBM2 (732 GB/s, the Table 3 GPU's memory)",
+         732.0},
+    };
+    return kPlatforms;
+}
+
+const PlatformSpec *
+findPlatformOrNull(const std::string &name)
+{
+    if (name.empty()) return &knownPlatforms().front();
+    for (const PlatformSpec &p : knownPlatforms())
+        if (p.name == name) return &p;
+    return nullptr;
+}
+
+std::string
+knownPlatformNames()
+{
+    std::string known;
+    for (const PlatformSpec &p : knownPlatforms())
+        known += (known.empty() ? "" : "|") + p.name;
+    return known;
+}
+
+const PlatformSpec &
+findPlatform(const std::string &name)
+{
+    if (const PlatformSpec *p = findPlatformOrNull(name)) return *p;
+    fatal("unknown platform '" + name + "' (" + knownPlatformNames() +
+          ")");
+}
+
+MemoryModel::MemoryModel(const PlatformSpec &platform, double clock_mhz)
+    : platform_(platform)
+{
+    if (clock_mhz <= 0.0) fatal("MemoryModel: clock must be positive");
+    if (platform.bandwidthGBs > 0.0) {
+        // GB/s over MHz: (bw * 1e9 bytes/s) / (clock * 1e6 cycles/s).
+        bytesPerCycle_ = platform.bandwidthGBs * 1e3 / clock_mhz;
+    }
+}
+
+MemoryTraffic
+MemoryModel::roundTraffic(Count nnz, Index inner_dim, Index rows) const
+{
+    MemoryTraffic t;
+    t.sparseBytes =
+        nnz * (platform_.bytesPerValue + platform_.bytesPerIndex);
+    t.denseBytes = static_cast<Count>(inner_dim) * platform_.bytesPerValue;
+    t.outputBytes = static_cast<Count>(rows) * platform_.bytesPerValue;
+    return t;
+}
+
+Count
+MemoryModel::migrationBytes(const std::vector<int> &owners_before,
+                            const std::vector<int> &owners_after,
+                            const std::vector<Count> &row_work) const
+{
+    Count bytes = 0;
+    const Count per_nnz =
+        platform_.bytesPerValue + platform_.bytesPerIndex;
+    for (std::size_t r = 0; r < owners_before.size(); ++r)
+        if (owners_before[r] != owners_after[r])
+            bytes += row_work[r] * per_nnz;
+    return bytes;
+}
+
+Cycle
+MemoryModel::floorCycles(Count bytes) const
+{
+    if (bytesPerCycle_ <= 0.0 || bytes <= 0) return 0;
+    return static_cast<Cycle>(
+        std::ceil(static_cast<double>(bytes) / bytesPerCycle_));
+}
+
+} // namespace awb

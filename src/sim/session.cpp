@@ -160,6 +160,9 @@ Session::run(const WorkloadGraph &graph, StatsSink *sink)
 
             res.totalCyclesSerial += r.stats.cycles;
             res.totalTasks += r.stats.tasks;
+            res.traffic += r.stats.traffic;
+            res.memoryCycles += r.stats.memoryCycles;
+            res.bwBoundRounds += r.stats.bwBoundRounds;
             res.nodeIds.push_back(id);
             res.nodeStats.push_back(std::move(r.stats));
             chain.stages.push_back(res.nodeStats.size() - 1);

@@ -55,6 +55,11 @@ struct SessionResult
     Cycle totalCyclesSerial = 0;  ///< without inter-SPMM pipelining
     Count totalTasks = 0;         ///< MACs executed
     double utilization = 0.0;     ///< tasks / (P * serial cycles)
+    /** Off-chip traffic summed over every costed node; per-node (per
+     *  layer) figures live in nodeStats[i].traffic (DESIGN.md §8). */
+    MemoryTraffic traffic;
+    Cycle memoryCycles = 0;       ///< summed per-round bandwidth floors
+    Count bwBoundRounds = 0;      ///< rounds stretched to their floor
 };
 
 /**

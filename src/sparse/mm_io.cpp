@@ -1,6 +1,7 @@
 #include "sparse/mm_io.hpp"
 
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <string>
 
@@ -8,11 +9,31 @@
 
 namespace awb {
 
+namespace {
+
+/** getline that strips a trailing '\r' (CRLF files read on POSIX). */
+bool
+getlineStripped(std::istream &in, std::string &line)
+{
+    if (!std::getline(in, line)) return false;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    return true;
+}
+
+/** Whitespace-only lines carry no entry and must be skipped, not parsed. */
+bool
+isBlank(const std::string &line)
+{
+    return line.find_first_not_of(" \t") == std::string::npos;
+}
+
+} // namespace
+
 CooMatrix
 readMatrixMarket(std::istream &in)
 {
     std::string line;
-    if (!std::getline(in, line))
+    if (!getlineStripped(in, line))
         fatal("MatrixMarket: empty input");
     std::istringstream hdr(line);
     std::string banner, object, fmt, field, symmetry;
@@ -28,11 +49,12 @@ readMatrixMarket(std::istream &in)
     if (symmetry != "general" && !symmetric)
         fatal("MatrixMarket: unsupported symmetry '" + symmetry + "'");
 
-    // Skip comments.
+    // Skip comments and blank lines (writers that emit a separator line
+    // before the size line are within the format).
     do {
-        if (!std::getline(in, line))
+        if (!getlineStripped(in, line))
             fatal("MatrixMarket: missing size line");
-    } while (!line.empty() && line[0] == '%');
+    } while (isBlank(line) || line[0] == '%');
 
     std::istringstream size(line);
     long rows = 0, cols = 0, nnz = 0;
@@ -42,9 +64,9 @@ readMatrixMarket(std::istream &in)
 
     CooMatrix m(static_cast<Index>(rows), static_cast<Index>(cols));
     for (long e = 0; e < nnz; ++e) {
-        if (!std::getline(in, line))
+        if (!getlineStripped(in, line))
             fatal("MatrixMarket: truncated entry list");
-        if (line.empty() || line[0] == '%') { --e; continue; }
+        if (isBlank(line) || line[0] == '%') { --e; continue; }
         std::istringstream es(line);
         long r = 0, c = 0;
         double v = 1.0;
@@ -74,10 +96,16 @@ readMatrixMarketFile(const std::string &path)
 void
 writeMatrixMarket(std::ostream &out, const CooMatrix &m)
 {
+    // max_digits10 makes the text round-trip exact: the default
+    // 6-significant-digit precision silently perturbs any value whose
+    // decimal expansion is longer (1e-7-scale deltas, subnormals).
+    const std::streamsize old_precision = out.precision(
+        std::numeric_limits<Value>::max_digits10);
     out << "%%MatrixMarket matrix coordinate real general\n";
     out << m.rows() << " " << m.cols() << " " << m.nnz() << "\n";
     for (const Triplet &t : m.entries())
         out << (t.row + 1) << " " << (t.col + 1) << " " << t.val << "\n";
+    out.precision(old_precision);
 }
 
 void

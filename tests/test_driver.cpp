@@ -8,6 +8,12 @@
 
 #include <gtest/gtest.h>
 
+#include <clocale>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
 #include <set>
 
 #include "driver/json.hpp"
@@ -268,4 +274,169 @@ TEST(Sweep, ModeNamesRoundTrip)
     for (SweepMode m : {SweepMode::Model, SweepMode::Cycle,
                         SweepMode::SpmmTdq1, SweepMode::SpmmTdq2})
         EXPECT_EQ(parseSweepMode(sweepModeName(m)), m);
+}
+
+// ------------------------------------------------- thread resolution
+
+TEST(Sweep, ResolveThreadsCapsAtGridSizeAndFallsBackToOne)
+{
+    SweepOptions opts = smallGrid();
+
+    // More workers than points: the pool shrinks to the grid size.
+    opts.threads = 64;
+    EXPECT_EQ(resolveThreads(opts, 3), 3u);
+    EXPECT_EQ(resolveThreads(opts, 64), 64u);
+
+    // threads == 0 defers to std::thread::hardware_concurrency(), which
+    // may itself report 0 on exotic hosts; the resolved pool must stay
+    // in [1, n_points] either way (the max(1, hw) fallback).
+    opts.threads = 0;
+    unsigned resolved = resolveThreads(opts, 5);
+    EXPECT_GE(resolved, 1u);
+    EXPECT_LE(resolved, 5u);
+
+    // Degenerate empty grid still yields a positive pool size.
+    opts.threads = 8;
+    EXPECT_EQ(resolveThreads(opts, 0), 1u);
+}
+
+TEST(Sweep, MoreThreadsThanPointsIsDeterministic)
+{
+    SweepOptions opts = smallGrid();
+    opts.datasets = {"cora"};
+    opts.designs = {"baseline", "remote-d"};
+    opts.peCounts = {32};  // 2 grid points
+    opts.threads = 1;
+    std::string serial = sweepToJson(opts, runSweep(opts)).dump(2);
+    opts.threads = 16;  // far more workers than points
+    std::string wide = sweepToJson(opts, runSweep(opts)).dump(2);
+    EXPECT_EQ(serial, wide);
+}
+
+// ------------------------------------------------- platform axis
+
+TEST(SweepGrid, PlatformAxisExpandsAndValidates)
+{
+    SweepOptions opts = smallGrid();
+    opts.datasets = {"cora"};
+    opts.designs = {"baseline"};
+    opts.peCounts = {32};
+    opts.platforms = {"unconstrained", "d5005-ddr4"};
+    auto points = expandGrid(opts);
+    ASSERT_EQ(points.size(), 2u);
+    EXPECT_EQ(points[0].platform, "unconstrained");
+    EXPECT_EQ(points[1].platform, "d5005-ddr4");
+    EXPECT_NE(points[0].seed, points[1].seed);
+}
+
+TEST(SweepGridDeath, UnknownPlatformIsFatal)
+{
+    SweepOptions opts = smallGrid();
+    opts.platforms = {"hbm9"};
+    EXPECT_EXIT(expandGrid(opts), ::testing::ExitedWithCode(1),
+                "unknown platform");
+}
+
+TEST(Sweep, JsonSchemaCarriesMemoryModelKeys)
+{
+    SweepOptions opts = smallGrid();
+    opts.datasets = {"cora"};
+    opts.designs = {"remote-d"};
+    opts.peCounts = {32};
+    opts.platforms = {"ddr4-2400"};
+    auto outcomes = runSweep(opts);
+    ASSERT_EQ(outcomes.size(), 1u);
+    ASSERT_TRUE(outcomes[0].ok) << outcomes[0].error;
+    // The capped platform must actually bind some rounds.
+    EXPECT_GT(outcomes[0].bwBoundRounds, 0);
+    EXPECT_GT(outcomes[0].memoryCycles, 0);
+    EXPECT_GT(outcomes[0].bytesTotal, 0);
+
+    std::string doc = sweepToJson(opts, outcomes).dump(2);
+    for (const char *key :
+         {"\"platforms\":", "\"platform\": \"ddr4-2400\"",
+          "\"bytes_total\":", "\"memory_cycles\":",
+          "\"bw_bound_rounds\":"})
+        EXPECT_NE(doc.find(key), std::string::npos) << "missing " << key;
+}
+
+// ------------------------------------------------- locale independence
+
+namespace {
+
+/**
+ * Activate a decimal-comma locale for the calling process; returns the
+ * locale name, or "" when none can be found or generated (the caller
+ * skips). Tries installed candidates first, then generates de_DE.UTF-8
+ * into a scratch directory via localedef + LOCPATH (glibc).
+ */
+std::string
+activateCommaLocale()
+{
+    static const char *candidates[] = {"de_DE.UTF-8", "de_DE.utf8",
+                                       "fr_FR.UTF-8", "fr_FR.utf8"};
+    for (const char *c : candidates)
+        if (std::setlocale(LC_ALL, c) != nullptr) return c;
+    std::string dir = ::testing::TempDir() + "awb-locales";
+    std::string cmd = "mkdir -p '" + dir + "' && localedef -i de_DE " +
+                      "-f UTF-8 '" + dir + "/de_DE.UTF-8' >/dev/null 2>&1";
+    if (std::system(cmd.c_str()) == 0) {
+        setenv("LOCPATH", dir.c_str(), 1);
+        if (std::setlocale(LC_ALL, "de_DE.UTF-8") != nullptr)
+            return "de_DE.UTF-8 (generated)";
+    }
+    return "";
+}
+
+/** RAII guard restoring the C locale however the test exits. */
+struct CLocaleGuard
+{
+    ~CLocaleGuard() { std::setlocale(LC_ALL, "C"); }
+};
+
+} // namespace
+
+// In the C locale, jsonNumber must match snprintf("%.12g") byte for
+// byte — the historical format every tracked JSON document uses.
+TEST(JsonLocale, NumberFormatMatchesHistoricalPrintf)
+{
+    for (double v : {0.0, 0.5, -0.5, 1.0 / 3, 1e-7, 76.8, 732.0, 1e12,
+                     123456789012345.0, 2.5e-300, -1234.5678}) {
+        char buf[40];
+        std::snprintf(buf, sizeof buf, "%.12g", v);
+        EXPECT_EQ(jsonNumber(v), buf) << v;
+    }
+    EXPECT_EQ(jsonNumber(std::numeric_limits<double>::infinity()), "null");
+    EXPECT_EQ(jsonNumber(std::nan("")), "null");
+}
+
+// The satellite bug: under de_DE.UTF-8, snprintf("%.12g") emits a
+// decimal comma, which is invalid JSON and breaks the byte-identical
+// sweep-output guarantee. The dump must not depend on LC_NUMERIC.
+TEST(JsonLocale, DumpIsByteIdenticalUnderCommaLocale)
+{
+    Json doc = Json::object();
+    doc.set("half", 0.5);
+    doc.set("bandwidth_gbs", 76.8);
+    doc.set("tiny", 1e-7);
+    Json arr = Json::array();
+    for (double v : {0.25, -1234.5678, 3.14159265358979})
+        arr.push(v);
+    doc.set("values", std::move(arr));
+    const std::string c_dump = doc.dump(2);
+    EXPECT_NE(c_dump.find("0.5"), std::string::npos);
+
+    CLocaleGuard guard;
+    std::string locale = activateCommaLocale();
+    if (locale.empty())
+        GTEST_SKIP() << "no decimal-comma locale available or generable";
+
+    // Prove the locale really re-punctuates printf before relying on it.
+    char probe[32];
+    std::snprintf(probe, sizeof probe, "%.1f", 0.5);
+    ASSERT_TRUE(std::strchr(probe, ',') != nullptr)
+        << "locale '" << locale << "' does not use decimal commas";
+
+    EXPECT_EQ(jsonNumber(0.5), "0.5");
+    EXPECT_EQ(doc.dump(2), c_dump);
 }

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <fstream>
 #include <sstream>
 
 #include "common/rng.hpp"
@@ -128,4 +129,129 @@ TEST(MmIoRoundTrip, CsrCscConversionPathPreservesTheMatrix)
     std::istringstream in(out.str());
     CooMatrix again = readMatrixMarket(in);
     EXPECT_EQ(again.nnz(), coo.nnz());
+}
+
+// ------------------------------------------- writer precision (bugfix)
+
+// The writer streams values at max_digits10, so a write→read trip is
+// exact for every representable float — including values the historic
+// 6-significant-digit default silently perturbed.
+TEST(MmIoRoundTrip, AdversarialValuesSurviveExactly)
+{
+    CooMatrix m(4, 4);
+    const float adversarial[] = {
+        1.0000001f,               // 1e-7 delta off 1.0 (8 sig. digits)
+        0.30000001f,              // differs from 0.3f in the last ulp
+        1e-7f,
+        1.17549435e-38f,          // smallest normal
+        1e-40f,                   // subnormal
+        -1.4012984643e-45f,       // smallest (negative) subnormal
+        16777217.0f,              // 2^24 + 1: not exactly representable,
+                                  // rounds to 2^24 — must survive as such
+        3.14159274f,              // closest float to pi
+    };
+    int i = 0;
+    for (float v : adversarial) {
+        m.add(i / 4, i % 4, v);
+        ++i;
+    }
+    m.canonicalize();
+
+    std::ostringstream out;
+    writeMatrixMarket(out, m);
+    std::istringstream in(out.str());
+    CooMatrix back = readMatrixMarket(in);
+
+    expectSameStructure(m, back);
+    for (std::size_t e = 0; e < m.entries().size(); ++e)
+        EXPECT_EQ(m.entries()[e].val, back.entries()[e].val)
+            << "entry " << e << " perturbed by the text round-trip";
+}
+
+// Values that are *almost* equal must stay distinct through the trip —
+// the 6-digit writer used to collapse 1e-7-scale deltas.
+TEST(MmIoRoundTrip, NearbyValuesStayDistinct)
+{
+    CooMatrix m(2, 2);
+    m.add(0, 0, 1.0f);
+    m.add(0, 1, 1.0000001f);
+    m.canonicalize();
+    ASSERT_NE(m.entries()[0].val, m.entries()[1].val);
+
+    std::ostringstream out;
+    writeMatrixMarket(out, m);
+    std::istringstream in(out.str());
+    CooMatrix back = readMatrixMarket(in);
+    ASSERT_EQ(back.nnz(), 2);
+    EXPECT_NE(back.entries()[0].val, back.entries()[1].val)
+        << "write→read collapsed a 1e-7 delta";
+}
+
+// ---------------------------------------- CRLF / blank-line robustness
+
+// A CRLF-terminated file (Windows checkout, curl'd fixture) must parse
+// identically to its LF twin: trailing '\r' used to corrupt the size
+// line and make "\r"-only lines fatal as out-of-range entries.
+TEST(MmIoRoundTrip, CrlfFileParsesIdenticallyToLf)
+{
+    const std::string lf =
+        "%%MatrixMarket matrix coordinate real general\n"
+        "% comment line\n"
+        "3 3 3\n"
+        "1 1 0.5\n"
+        "2 3 -1.25\n"
+        "3 2 2\n";
+    std::string crlf;
+    for (char c : lf) {
+        if (c == '\n') crlf += '\r';
+        crlf += c;
+    }
+
+    std::istringstream in_lf(lf), in_crlf(crlf);
+    CooMatrix a = readMatrixMarket(in_lf);
+    CooMatrix b = readMatrixMarket(in_crlf);
+    expectSameStructure(a, b);
+    for (std::size_t i = 0; i < a.entries().size(); ++i)
+        EXPECT_EQ(a.entries()[i].val, b.entries()[i].val);
+}
+
+// Blank (or whitespace-only, or bare-"\r") lines before the size line
+// and inside the entry list are separators, not data: they used to be
+// parsed as the size line ("bad size line") or as entries ("entry out
+// of range").
+TEST(MmIoRoundTrip, BlankAndWhitespaceLinesAreSkipped)
+{
+    const std::string text =
+        "%%MatrixMarket matrix coordinate real general\r\n"
+        "% comment\r\n"
+        "\r\n"
+        "   \n"
+        "2 2 2\r\n"
+        "1 1 1.5\r\n"
+        "\r\n"
+        "2 2 2.5\r\n";
+    std::istringstream in(text);
+    CooMatrix m = readMatrixMarket(in);
+    ASSERT_EQ(m.rows(), 2);
+    ASSERT_EQ(m.cols(), 2);
+    ASSERT_EQ(m.nnz(), 2);
+    EXPECT_EQ(m.entries()[0].val, 1.5f);
+    EXPECT_EQ(m.entries()[1].val, 2.5f);
+}
+
+// The bundled sample with synthetic CRLF endings still loads through
+// the file-based entry point.
+TEST(MmIoRoundTrip, SampleSurvivesCrlfRewrite)
+{
+    CooMatrix orig = readMatrixMarketFile(kSamplePath);
+
+    std::ifstream src(kSamplePath);
+    ASSERT_TRUE(src.is_open());
+    std::ostringstream crlf;
+    std::string line;
+    while (std::getline(src, line)) crlf << line << "\r\n";
+
+    std::istringstream in(crlf.str());
+    CooMatrix back = readMatrixMarket(in);
+    expectSameStructure(orig, back);
 }
