@@ -121,8 +121,8 @@ runAblation(driver::ScenarioContext &ctx)
                       std::to_string(stats.rawStalls)});
         }
         std::printf("%s", t.render().c_str());
-        std::printf("An under-provisioned fabric (speedup 1) bottlenecks the\n"
-                    "PEs regardless of workload balance — the paper's design\n"
+        std::printf("An under-provisioned fabric (speedup 1) bottlenecks\n"
+                    "PEs regardless of balance — the paper's design\n"
                     "premise is a distribution path that keeps PEs fed.\n");
     }
 }

@@ -47,8 +47,8 @@ runFig14Resources(driver::ScenarioContext &ctx)
         std::printf("%s", t.render().c_str());
     }
     std::printf(
-        "\nShape targets: rebalancing shrinks the TQ component dramatically\n"
-        "(NELL most of all) while the added logic costs only 2.7%%/4.3%%/1.9%%\n"
+        "\nShape targets: rebalancing shrinks the TQ component sharply\n"
+        "(NELL most of all) while the added logic costs just 2.7/4.3/1.9%%\n"
         "(1-hop/2-hop/remote), so total area goes DOWN versus the baseline\n"
         "on the imbalanced datasets.\n");
 }

@@ -45,10 +45,12 @@ runTable1(driver::ScenarioContext &ctx)
                   percent(spec.densityX2)});
     }
     std::printf("%s", t.render().c_str());
-    std::printf("W matrices are 100%% dense in every dataset (paper: same).\n");
-    std::printf("Measured adjacency densities include the +I self loops of\n"
-                "the renormalization trick; the published numbers profile the\n"
-                "raw adjacency, hence the small positive offset.\n");
+    std::printf(
+        "W matrices are 100%% dense in every dataset (paper: same).\n");
+    std::printf("Measured adjacency densities include the +I self loops\n"
+                "of the renormalization trick; the published numbers\n"
+                "profile the raw adjacency, hence the small positive\n"
+                "offset.\n");
 }
 
 const driver::ScenarioRegistrar reg({

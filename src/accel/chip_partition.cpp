@@ -1,0 +1,134 @@
+#include "accel/chip_partition.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "accel/policy.hpp"
+#include "common/log.hpp"
+
+namespace awb {
+
+ChipPartition
+ChipPartition::build(const AccelConfig &cfg, Index rows,
+                     const std::vector<Count> &row_work)
+{
+    if (cfg.chips < 1) fatal("ChipPartition: chips must be >= 1");
+    ChipPartition cp;
+    cp.chips_ = cfg.chips;
+
+    // The registered policy partitions rows over "PEs"; running it on a
+    // config whose array size is the chip count makes chip sharding an
+    // outer application of the same policy.
+    AccelConfig chip_cfg = cfg;
+    chip_cfg.numPes = cfg.chips;
+    chip_cfg.chips = 1;
+    RowPartition part =
+        makePartitionPolicy(chip_cfg)->build(rows, row_work, chip_cfg);
+
+    cp.chipOf_ = part.owners();
+    cp.rowsOf_.assign(static_cast<std::size_t>(cp.chips_), {});
+    for (Index r = 0; r < rows; ++r)
+        cp.rowsOf_[static_cast<std::size_t>(cp.chipOf_[
+            static_cast<std::size_t>(r)])].push_back(r);
+    // rowsOf_ lists are ascending by construction (rows visited in
+    // order); shard extraction depends on that.
+    return cp;
+}
+
+std::vector<Count>
+ChipPartition::chipWork(const std::vector<Count> &row_work) const
+{
+    std::vector<Count> w(static_cast<std::size_t>(chips_), 0);
+    for (std::size_t r = 0; r < chipOf_.size(); ++r)
+        w[static_cast<std::size_t>(chipOf_[r])] += row_work[r];
+    return w;
+}
+
+double
+ChipPartition::imbalance(const std::vector<Count> &row_work) const
+{
+    std::vector<Count> w = chipWork(row_work);
+    Count total = std::accumulate(w.begin(), w.end(), Count(0));
+    if (total == 0) return 1.0;
+    Count worst = *std::max_element(w.begin(), w.end());
+    double mean =
+        static_cast<double>(total) / static_cast<double>(chips_);
+    return static_cast<double>(worst) / mean;
+}
+
+std::vector<Count>
+ChipPartition::haloRows(const CscMatrix &a) const
+{
+    std::vector<Count> halo(static_cast<std::size_t>(chips_), 0);
+    if (chips_ <= 1) return halo;
+    // Rectangular operand: the dense operand is a replicated small
+    // matrix (X×W), nothing crosses the link.
+    if (a.rows() != a.cols() ||
+        a.rows() != static_cast<Index>(chipOf_.size()))
+        return halo;
+
+    // Column j of A is dense-operand row j. Every chip with a non-zero
+    // in column j needs row j; those that do not own j fetch it.
+    std::vector<char> needs(static_cast<std::size_t>(chips_), 0);
+    for (Index j = 0; j < a.cols(); ++j) {
+        const Count begin = a.colPtr()[static_cast<std::size_t>(j)];
+        const Count end = a.colPtr()[static_cast<std::size_t>(j) + 1];
+        if (begin == end) continue;
+        std::fill(needs.begin(), needs.end(), 0);
+        for (Count p = begin; p < end; ++p) {
+            const Index i = a.rowId()[static_cast<std::size_t>(p)];
+            needs[static_cast<std::size_t>(chipOf(i))] = 1;
+        }
+        const int owner = chipOf(j);
+        for (int c = 0; c < chips_; ++c)
+            if (needs[static_cast<std::size_t>(c)] && c != owner)
+                ++halo[static_cast<std::size_t>(c)];
+    }
+    return halo;
+}
+
+CscMatrix
+ChipPartition::extractRows(const CscMatrix &a, int chip) const
+{
+    if (a.rows() != static_cast<Index>(chipOf_.size()))
+        fatal("ChipPartition::extractRows: row-count mismatch");
+    const std::vector<Index> &mine = rowsOf(chip);
+    std::vector<Index> local(chipOf_.size(), 0);
+    for (std::size_t l = 0; l < mine.size(); ++l)
+        local[static_cast<std::size_t>(mine[l])] = static_cast<Index>(l);
+
+    std::vector<Count> col_ptr(static_cast<std::size_t>(a.cols()) + 1, 0);
+    std::vector<Index> row_id;
+    std::vector<Value> val;
+    for (Index j = 0; j < a.cols(); ++j) {
+        const Count begin = a.colPtr()[static_cast<std::size_t>(j)];
+        const Count end = a.colPtr()[static_cast<std::size_t>(j) + 1];
+        for (Count p = begin; p < end; ++p) {
+            const Index i = a.rowId()[static_cast<std::size_t>(p)];
+            if (chipOf(i) != chip) continue;
+            // Local ids ascend with global ids, so sortedness within
+            // each column is preserved.
+            row_id.push_back(local[static_cast<std::size_t>(i)]);
+            val.push_back(a.val()[static_cast<std::size_t>(p)]);
+        }
+        col_ptr[static_cast<std::size_t>(j) + 1] =
+            static_cast<Count>(row_id.size());
+    }
+    return CscMatrix::fromParts(static_cast<Index>(mine.size()), a.cols(),
+                                std::move(col_ptr), std::move(row_id),
+                                std::move(val));
+}
+
+std::vector<Count>
+ChipPartition::extractWork(const std::vector<Count> &row_work,
+                           int chip) const
+{
+    const std::vector<Index> &mine = rowsOf(chip);
+    std::vector<Count> w;
+    w.reserve(mine.size());
+    for (Index r : mine)
+        w.push_back(row_work[static_cast<std::size_t>(r)]);
+    return w;
+}
+
+} // namespace awb

@@ -52,6 +52,7 @@ AccelConfig::validate(bool cycle_accurate_tdq2) const
     if (injectWidth < 0) return "injectWidth must be non-negative (0 = auto)";
     if (streamWidth < 0) return "streamWidth must be non-negative (0 = auto)";
     if (maxCyclesPerRound <= 0) return "maxCyclesPerRound must be positive";
+    if (chips < 1) return "chips must be >= 1";
     // Combination checks: fields that are individually fine but make no
     // sense together.
     if (remoteSwitching && numPes < 2)

@@ -116,6 +116,13 @@ struct AccelConfig
      *  no bandwidth floor is composed and timing is bit-identical to a
      *  build without the memory model (DESIGN.md §8). */
     std::string platform;
+    /** Simulated accelerator chips the sparse operand's rows are sharded
+     *  across (DESIGN.md §9). Each chip runs its own numPes-wide array;
+     *  chips synchronize at round barriers and exchange boundary
+     *  dense-feature rows over the platform's inter-chip link. 1 (the
+     *  default) is a provable timing no-op: the sharded paths reduce to
+     *  the single-accelerator engines bit for bit. */
+    int chips = 1;
 
     /** True when this configuration performs any runtime rebalancing. */
     bool rebalancing() const { return sharingHops > 0 || remoteSwitching; }

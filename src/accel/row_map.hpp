@@ -33,7 +33,10 @@ class RowPartition
     Index rows() const { return static_cast<Index>(owner_.size()); }
     int numPes() const { return numPes_; }
 
-    int owner(Index row) const { return owner_[static_cast<std::size_t>(row)]; }
+    int owner(Index row) const
+    {
+        return owner_[static_cast<std::size_t>(row)];
+    }
 
     /** The full row→PE assignment vector. The batched cycle engine keys
      *  its round memoization on this (DESIGN.md §6). */

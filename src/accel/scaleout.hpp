@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Multi-chip scale-out execution (DESIGN.md §9).
+ *
+ * Shards one SPMM (or a whole GCN inference) across `AccelConfig::chips`
+ * simulated accelerators: a ChipPartition assigns sparse-operand rows to
+ * chips, each chip runs its shard on its own numPes-wide array, and the
+ * chips synchronize at the per-column round barrier (the same barrier
+ * that separates rounds within one chip, §3.3, applied across chips):
+ *
+ *     system_round_k = max( max_c chip_round_c[k],  link_floor )
+ *
+ * where `link_floor` is the halo-exchange cycle floor: per round, chip c
+ * receives one element of each of its halo rows (boundary dense-operand
+ * rows owned by another chip) over the platform's inter-chip link,
+ * composed roofline-style exactly like the off-chip DRAM floor (§8).
+ * Halo bytes are accounted as a dedicated traffic class
+ * (MemoryTraffic::haloBytes) on every platform; only the floor needs a
+ * link-bandwidth figure (PlatformSpec::interChipGBs — 0 on
+ * `unconstrained`, keeping it the no-op reference).
+ *
+ * `chips == 1` short-circuits to the unsharded engines, making the
+ * default a provable timing no-op (bit-identical statistics, locked by
+ * tests/test_scaleout.cpp).
+ */
+
+#pragma once
+
+#include "accel/chip_partition.hpp"
+#include "accel/gcn_accel.hpp"
+#include "accel/perf_model.hpp"
+#include "accel/spmm_engine.hpp"
+#include "graph/datasets.hpp"
+
+namespace awb {
+
+/** Scale-out-specific aggregates of one sharded execution. */
+struct ScaleOutSummary
+{
+    int chips = 1;
+    /** Inter-chip bytes moved (all rounds, all chips). */
+    Count haloBytes = 0;
+    /** Summed per-round link floors (0 on an unconstrained link). */
+    Cycle haloCycles = 0;
+    /** Rounds stretched to the link floor at the barrier. */
+    Count haloBoundRounds = 0;
+    /** Chip-level load imbalance: max(W_c) / mean(W_c). */
+    double chipImbalance = 1.0;
+
+    ScaleOutSummary &operator+=(const ScaleOutSummary &o)
+    {
+        haloBytes += o.haloBytes;
+        haloCycles += o.haloCycles;
+        haloBoundRounds += o.haloBoundRounds;
+        return *this;
+    }
+};
+
+/** A sharded cycle-accurate SPMM: combined stats plus scale-out view. */
+struct ShardedSpmmResult
+{
+    SpmmResult result;
+    ScaleOutSummary scaleout;
+};
+
+/** A sharded cycle-accurate GCN inference. */
+struct ShardedGcnResult
+{
+    GcnRunResult result;
+    ScaleOutSummary scaleout;
+};
+
+/** A sharded round-level GCN model run. */
+struct ShardedPerfGcnResult
+{
+    PerfGcnResult result;
+    ScaleOutSummary scaleout;
+};
+
+/**
+ * Execute C = a × b cycle-accurately across cfg.chips chips. Combined
+ * statistics cover the whole system (perPeTasks has chips × numPes
+ * entries, utilization is over all PEs); the result matrix is exact.
+ * chips == 1 is the plain SpmmEngine path, bit for bit.
+ */
+ShardedSpmmResult executeSpmmSharded(const AccelConfig &cfg,
+                                     const CscMatrix &a,
+                                     const DenseMatrix &b, TdqKind kind);
+
+/**
+ * Run a full GCN inference cycle-accurately across cfg.chips chips.
+ * Node ownership (one ChipPartition over the adjacency's rows) is shared
+ * by every SPMM: chip c computes XW rows and output rows of the nodes it
+ * owns, so the A×(XW) halo is exactly the boundary XW rows produced on
+ * other chips. chips == 1 delegates to runGcn() unchanged.
+ */
+ShardedGcnResult runGcnSharded(const AccelConfig &cfg, const Dataset &ds,
+                               const GcnModel &model);
+
+/**
+ * Round-level (PerfModel) twin of runGcnSharded, full-scale capable.
+ *
+ * @param structure  adjacency structure for halo counting; required when
+ *                   cfg.chips > 1 (pass loadSyntheticAdjacency(...) —
+ *                   the profile alone cannot locate boundary rows),
+ *                   ignored otherwise.
+ */
+ShardedPerfGcnResult modelGcnSharded(const AccelConfig &cfg,
+                                     const WorkloadProfile &profile,
+                                     const CscMatrix *structure = nullptr);
+
+} // namespace awb

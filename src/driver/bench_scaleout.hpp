@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Multi-chip scaling baseline (`awbsim --bench-scaleout`): runs the
+ * round-level GCN model of one dataset sharded across a chip-count
+ * curve × platform grid (DESIGN.md §9), records cycles, halo traffic
+ * and chip imbalance per point, verifies the halo gate — halo bytes
+ * must be zero at 1 chip and monotone non-decreasing along the chip
+ * axis (more chips can only cut more boundary edges) — and emits the
+ * `awbsim-bench-scaleout-v1` JSON document (BENCH_scaleout.json),
+ * tracked in-repo and diffed by tools/check_bench.py in CI with the
+ * gate on the exit code. Implemented in bench/bench_scaleout.cpp
+ * (compiled into awbsim).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace awb::driver {
+
+/** Grid axes and knobs of one scale-out benchmark run. */
+struct BenchScaleoutOptions
+{
+    std::string dataset = "reddit";
+    std::vector<int> chipCounts = {1, 2, 4, 8, 16};
+    std::vector<std::string> platforms = {"d5005-ddr4", "p100-hbm2"};
+    std::string policy = "remote-d";
+    int pes = 1024;  ///< PE-array size per chip
+    std::uint64_t seed = 1;
+    double scale = 1.0;
+    std::string jsonPath = "BENCH_scaleout.json";
+};
+
+/**
+ * Run the curve, print a scaling table, write the JSON document.
+ * Returns 0 on success, 1 when the halo gate failed (non-zero halo at
+ * one chip, or a non-monotone halo curve) — the gate CI relies on.
+ */
+int runBenchScaleout(const BenchScaleoutOptions &opts);
+
+/** CLI front-end for `awbsim --bench-scaleout`; returns the exit code. */
+int runBenchScaleoutCli(int argc, char **argv, int first);
+
+} // namespace awb::driver

@@ -9,6 +9,7 @@
 #include "common/log.hpp"
 #include "driver/bench_engine.hpp"
 #include "driver/bench_memory.hpp"
+#include "driver/bench_scaleout.hpp"
 #include "driver/scenario.hpp"
 #include "driver/sweep.hpp"
 #include "model/memory_model.hpp"
@@ -49,6 +50,10 @@ printUsage()
         "                          (default base,a,b,c,d; see\n"
         "                          --list-designs)\n"
         "      --pes n1,n2,..      PE-array sizes (default 512)\n"
+        "      --chips n1,n2,..    accelerator-chip counts the graph is\n"
+        "                          row-sharded across (default 1 = one\n"
+        "                          chip, the unsharded engine; DESIGN.md\n"
+        "                          §9; model/cycle/tdq1/tdq2 modes)\n"
         "      --modes m1,m2,..    of model|cycle|tdq1|tdq2|graphsage|gin|\n"
         "                          khop (default model; graphsage/gin/khop\n"
         "                          run workload graphs on the Session API)\n"
@@ -95,7 +100,20 @@ printUsage()
         "      --platforms p1,..   default every registered platform\n"
         "      --pes N             PE-array size (default 1024)\n"
         "      --seed N / --scale S / --json FILE (default\n"
-        "                          BENCH_memory.json)\n");
+        "                          BENCH_memory.json)\n\n"
+        "  awbsim --bench-scaleout [options]\n"
+        "      Multi-chip scaling baseline: shard one dataset across a\n"
+        "      chip-count curve on the round-level model, verify the\n"
+        "      halo-traffic curve is monotone (and zero at 1 chip) and\n"
+        "      write the awbsim-bench-scaleout-v1 JSON document\n"
+        "      (BENCH_scaleout.json; DESIGN.md §9).\n"
+        "      --dataset D         default reddit\n"
+        "      --chips n1,n2,..    default 1,2,4,8,16\n"
+        "      --platforms p1,..   default d5005-ddr4,p100-hbm2\n"
+        "      --policy P          balance policy (default remote-d)\n"
+        "      --pes N             PE-array size per chip (default 1024)\n"
+        "      --seed N / --scale S / --json FILE (default\n"
+        "                          BENCH_scaleout.json)\n");
 }
 
 int
@@ -163,6 +181,10 @@ runSweepCli(int argc, char **argv, int first)
             opts.peCounts.clear();
             for (const auto &p : splitCsv(need("--pes")))
                 opts.peCounts.push_back(parseInt("--pes", p));
+        } else if (a == "--chips") {
+            opts.chipCounts.clear();
+            for (const auto &c : splitCsv(need("--chips")))
+                opts.chipCounts.push_back(parseInt("--chips", c));
         } else if (a == "--modes") {
             opts.modes.clear();
             for (const auto &m : splitCsv(need("--modes")))
@@ -193,7 +215,7 @@ runSweepCli(int argc, char **argv, int first)
     }
     if (opts.datasets.empty() || opts.designs.empty() ||
         opts.peCounts.empty() || opts.modes.empty() ||
-        opts.platforms.empty())
+        opts.platforms.empty() || opts.chipCounts.empty())
         fatal("sweep grid has an empty axis");
 
     std::vector<SweepPoint> points = expandGrid(opts);
@@ -254,6 +276,8 @@ driverMain(int argc, char **argv)
         return runBenchEngineCli(argc, argv, 2);
     if (cmd == "--bench-memory" || cmd == "bench-memory")
         return runBenchMemoryCli(argc, argv, 2);
+    if (cmd == "--bench-scaleout" || cmd == "bench-scaleout")
+        return runBenchScaleoutCli(argc, argv, 2);
     printUsage();
     fatal("unknown command: " + cmd);
 }

@@ -53,10 +53,11 @@ ScenarioRegistrar::ScenarioRegistrar(Scenario s)
 void
 scenarioBanner(const Scenario &s)
 {
-    std::printf("\n=============================================================="
-                "\n%s — %s\n"
-                "==============================================================\n",
-                s.figure.c_str(), s.summary.c_str());
+    std::printf(
+        "\n=============================================================="
+        "\n%s — %s\n"
+        "==============================================================\n",
+        s.figure.c_str(), s.summary.c_str());
 }
 
 std::uint64_t

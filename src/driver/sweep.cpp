@@ -9,6 +9,7 @@
 #include "accel/gcn_accel.hpp"
 #include "accel/perf_model.hpp"
 #include "accel/policy.hpp"
+#include "accel/scaleout.hpp"
 #include "accel/spmm_engine.hpp"
 #include "common/log.hpp"
 #include "common/rng.hpp"
@@ -77,6 +78,16 @@ accumulate(SweepOutcome &out, const sim::SessionResult &res)
     out.utilization = res.utilization;
 }
 
+/** Fold the scale-out view of a sharded run into the outcome. */
+void
+accumulate(SweepOutcome &out, const ScaleOutSummary &s)
+{
+    out.haloBytes += s.haloBytes;
+    out.haloCycles += s.haloCycles;
+    out.haloBoundRounds += s.haloBoundRounds;
+    out.chipImbalance = s.chipImbalance;
+}
+
 /** One execution of a point's workload; everything but repeat checking. */
 SweepOutcome
 executeOnce(const SweepPoint &p, const SweepOptions &opts)
@@ -96,16 +107,40 @@ executeOnce(const SweepPoint &p, const SweepOptions &opts)
         PolicyRegistry::instance().get(p.policy), p.pes, hopBase(spec));
     cfg.engine = opts.engine;
     cfg.platform = p.platform;
+    cfg.chips = p.chips;
     std::string cfg_err =
         cfg.validate(/*cycle_accurate_tdq2=*/p.mode != SweepMode::Model);
     if (!cfg_err.empty()) {
         out.error = cfg_err;
         return out;
     }
+    const bool sharded = cfg.chips > 1;
+    if (sharded &&
+        (p.mode == SweepMode::GraphSage || p.mode == SweepMode::Gin ||
+         p.mode == SweepMode::KhopGcn)) {
+        out.error = "mode '" + sweepModeName(p.mode) +
+                    "' does not support multi-chip sharding";
+        return out;
+    }
 
     switch (p.mode) {
       case SweepMode::Model: {
         WorkloadProfile prof = loadProfile(spec, p.seed, opts.scale);
+        if (sharded) {
+            // Halo counting needs the adjacency structure, which the
+            // profile alone cannot provide.
+            CscMatrix a = loadSyntheticAdjacency(spec, p.seed, opts.scale);
+            ShardedPerfGcnResult sr = modelGcnSharded(cfg, prof, &a);
+            out.cycles = sr.result.totalCycles;
+            out.tasks = sr.result.totalTasks;
+            out.utilization = sr.result.utilization;
+            for (const auto &layer : sr.result.layers) {
+                accumulate(out, layer.xw);
+                accumulate(out, layer.ax);
+            }
+            accumulate(out, sr.scaleout);
+            break;
+        }
         PerfGcnResult res = PerfModel(cfg).runGcn(prof);
         out.cycles = res.totalCycles;
         out.tasks = res.totalTasks;
@@ -120,6 +155,20 @@ executeOnce(const SweepPoint &p, const SweepOptions &opts)
         Dataset ds = loadSynthetic(spec, p.seed, opts.scale);
         GcnModel model =
             makeGcnModel(ds.spec.f1, ds.spec.f2, ds.spec.f3, p.seed);
+        if (sharded) {
+            ShardedGcnResult sr = runGcnSharded(cfg, ds, model);
+            out.utilization = sr.result.utilization;
+            for (const auto &layer : sr.result.layers) {
+                accumulate(out, layer.xw);
+                accumulate(out, layer.ax);
+                for (const auto &hop : layer.extraHops)
+                    accumulate(out, hop);
+            }
+            out.cycles = sr.result.totalCycles;
+            out.tasks = sr.result.totalTasks;
+            accumulate(out, sr.scaleout);
+            break;
+        }
         GcnRunResult res = runGcn(cfg, ds, model);
         out.utilization = res.utilization;
         for (const auto &layer : res.layers) {
@@ -137,6 +186,14 @@ executeOnce(const SweepPoint &p, const SweepOptions &opts)
         Rng rng(p.seed, /*seq=*/1);
         DenseMatrix w(ds.spec.f1, ds.spec.f2);
         w.fillUniform(rng, -1.0f, 1.0f);
+        if (sharded) {
+            ShardedSpmmResult sr =
+                executeSpmmSharded(cfg, x, w, TdqKind::Tdq1DenseScan);
+            accumulate(out, sr.result.stats);
+            out.utilization = sr.result.stats.utilization;
+            accumulate(out, sr.scaleout);
+            break;
+        }
         RowPartition part =
             makePartitionPolicy(cfg)->build(x.rows(), x.rowNnz(), cfg);
         SpmmResult r =
@@ -150,6 +207,14 @@ executeOnce(const SweepPoint &p, const SweepOptions &opts)
         Rng rng(p.seed, /*seq=*/2);
         DenseMatrix b(ds.spec.nodes, ds.spec.f2);
         b.fillUniform(rng, -1.0f, 1.0f);
+        if (sharded) {
+            ShardedSpmmResult sr = executeSpmmSharded(
+                cfg, ds.adjacency, b, TdqKind::Tdq2OmegaCsc);
+            accumulate(out, sr.result.stats);
+            out.utilization = sr.result.stats.utilization;
+            accumulate(out, sr.scaleout);
+            break;
+        }
         RowPartition part = makePartitionPolicy(cfg)->build(
             ds.adjacency.rows(), ds.adjacency.rowNnz(), cfg);
         SpmmResult r = SpmmEngine(cfg).execute(ds.adjacency, b,
@@ -250,15 +315,18 @@ expandGrid(const SweepOptions &opts)
                     for (const std::string &platform : opts.platforms) {
                         // Validate early; fatal() on an unknown name.
                         findPlatform(platform);
-                        SweepPoint p;
-                        p.index = points.size();
-                        p.dataset = dataset;
-                        p.policy = pol.name;
-                        p.platform = platform;
-                        p.pes = pes;
-                        p.mode = mode;
-                        p.seed = derivePointSeed(opts.seed, p.index);
-                        points.push_back(std::move(p));
+                        for (int chips : opts.chipCounts) {
+                            SweepPoint p;
+                            p.index = points.size();
+                            p.dataset = dataset;
+                            p.policy = pol.name;
+                            p.platform = platform;
+                            p.pes = pes;
+                            p.chips = chips;
+                            p.mode = mode;
+                            p.seed = derivePointSeed(opts.seed, p.index);
+                            points.push_back(std::move(p));
+                        }
                     }
                 }
             }
@@ -361,6 +429,9 @@ sweepToJson(const SweepOptions &opts,
     Json pes = Json::array();
     for (int p : opts.peCounts) pes.push(p);
     grid.set("pe_counts", std::move(pes));
+    Json chips = Json::array();
+    for (int c : opts.chipCounts) chips.push(c);
+    grid.set("chip_counts", std::move(chips));
     Json modes = Json::array();
     for (SweepMode m : opts.modes) modes.push(sweepModeName(m));
     grid.set("modes", std::move(modes));
@@ -376,6 +447,7 @@ sweepToJson(const SweepOptions &opts,
         p.set("policy", o.point.policy);
         p.set("platform", o.point.platform);
         p.set("pes", o.point.pes);
+        p.set("chips", o.point.chips);
         p.set("mode", sweepModeName(o.point.mode));
         p.set("seed", o.point.seed);
         p.set("ok", o.ok);
@@ -395,6 +467,10 @@ sweepToJson(const SweepOptions &opts,
             p.set("bytes_total", o.bytesTotal);
             p.set("memory_cycles", o.memoryCycles);
             p.set("bw_bound_rounds", o.bwBoundRounds);
+            p.set("halo_bytes", o.haloBytes);
+            p.set("halo_cycles", o.haloCycles);
+            p.set("halo_bound_rounds", o.haloBoundRounds);
+            p.set("chip_imbalance", o.chipImbalance);
             p.set("latency_ms", o.latencyMs);
             p.set("inferences_per_kj", o.inferencesPerKj);
             p.set("area_total_clb", o.areaTotalClb);

@@ -60,6 +60,13 @@ struct SweepOptions
      *  platform-less grids bit for bit (DESIGN.md §8). */
     std::vector<std::string> platforms = {"unconstrained"};
     std::vector<int> peCounts = {512};
+    /** Chip axis (`--chips`): simulated accelerators the graph is row-
+     *  sharded across (DESIGN.md §9). The default {1} is the unsharded
+     *  single-accelerator path, bit-identical to the pre-scale-out
+     *  engine. Multi-chip points are supported by the model, cycle and
+     *  single-SPMM modes; the workload-graph modes (graphsage, gin,
+     *  khop) produce per-point error rows for chips > 1. */
+    std::vector<int> chipCounts = {1};
     std::vector<SweepMode> modes = {SweepMode::Model};
     /** Cycle-engine implementation for the cycle-accurate modes
      *  (`--engine`): the per-non-zero event engine, or the round-batched
@@ -83,6 +90,7 @@ struct SweepPoint
     std::string policy = "baseline";  ///< canonical balance-policy name
     std::string platform = "unconstrained";  ///< registered platform name
     int pes = 0;
+    int chips = 1;             ///< accelerator chips (row sharding, §9)
     SweepMode mode = SweepMode::Model;
     std::uint64_t seed = 0;    ///< derived, deterministic per point
 };
@@ -108,6 +116,10 @@ struct SweepOutcome
     Count bytesTotal = 0;          ///< modelled off-chip traffic (bytes)
     Cycle memoryCycles = 0;        ///< summed per-round bandwidth floors
     Count bwBoundRounds = 0;       ///< rounds stretched to their floor
+    Count haloBytes = 0;           ///< inter-chip boundary-row traffic
+    Cycle haloCycles = 0;          ///< summed per-round link floors
+    Count haloBoundRounds = 0;     ///< rounds stretched to the link floor
+    double chipImbalance = 1.0;    ///< max/mean chip workload (1 = even)
     double latencyMs = 0.0;        ///< at the paper's 275 MHz
     double inferencesPerKj = 0.0;
     double areaTotalClb = 0.0;

@@ -32,10 +32,16 @@ struct GcnModel
     Index layers() const { return static_cast<Index>(weights.size()); }
 
     /** Input feature dimension of layer l. */
-    Index inDim(Index l) const { return weights[static_cast<std::size_t>(l)].rows(); }
+    Index inDim(Index l) const
+    {
+        return weights[static_cast<std::size_t>(l)].rows();
+    }
 
     /** Output feature dimension of layer l. */
-    Index outDim(Index l) const { return weights[static_cast<std::size_t>(l)].cols(); }
+    Index outDim(Index l) const
+    {
+        return weights[static_cast<std::size_t>(l)].cols();
+    }
 };
 
 /**

@@ -11,21 +11,26 @@ knownPlatforms()
 {
     // Bandwidth figures are the parts' published peaks; the reproduction
     // target is the cross-platform ordering, not absolute numbers.
+    // interChipGBs is the per-chip scale-out link: PCIe gen3 x16-class
+    // (16 GB/s) for the FPGA boards, NVLink-class (80 GB/s) for the GPU
+    // part, a modest 8 GB/s for the edge board. unconstrained has no
+    // link bound, keeping it the provable-no-op reference platform.
     static const std::vector<PlatformSpec> kPlatforms = {
         {"unconstrained", "inf BW",
-         "no off-chip bandwidth bound (compute-only, the default)", 0.0},
+         "no off-chip bandwidth bound (compute-only, the default)", 0.0,
+         4, 4, 0.0},
         {"ddr4-2400", "DDR4 x1",
          "single-channel DDR4-2400 (19.2 GB/s): edge/embedded board",
-         19.2},
+         19.2, 4, 4, 8.0},
         {"d5005-ddr4", "D5005",
          "Intel FPGA PAC D5005, 4x DDR4-2400 (76.8 GB/s): the paper's "
          "Stratix 10 SX board class",
-         76.8},
+         76.8, 4, 4, 16.0},
         {"vcu128-hbm2", "VCU128",
-         "Xilinx VCU128 HBM2 (460 GB/s)", 460.0},
+         "Xilinx VCU128 HBM2 (460 GB/s)", 460.0, 4, 4, 16.0},
         {"p100-hbm2", "P100 HBM2",
          "Tesla P100-class HBM2 (732 GB/s, the Table 3 GPU's memory)",
-         732.0},
+         732.0, 4, 4, 80.0},
     };
     return kPlatforms;
 }
@@ -64,6 +69,8 @@ MemoryModel::MemoryModel(const PlatformSpec &platform, double clock_mhz)
         // GB/s over MHz: (bw * 1e9 bytes/s) / (clock * 1e6 cycles/s).
         bytesPerCycle_ = platform.bandwidthGBs * 1e3 / clock_mhz;
     }
+    if (platform.interChipGBs > 0.0)
+        linkBytesPerCycle_ = platform.interChipGBs * 1e3 / clock_mhz;
 }
 
 MemoryTraffic
@@ -97,6 +104,14 @@ MemoryModel::floorCycles(Count bytes) const
     if (bytesPerCycle_ <= 0.0 || bytes <= 0) return 0;
     return static_cast<Cycle>(
         std::ceil(static_cast<double>(bytes) / bytesPerCycle_));
+}
+
+Cycle
+MemoryModel::haloFloorCycles(Count bytes) const
+{
+    if (linkBytesPerCycle_ <= 0.0 || bytes <= 0) return 0;
+    return static_cast<Cycle>(
+        std::ceil(static_cast<double>(bytes) / linkBytesPerCycle_));
 }
 
 } // namespace awb

@@ -42,6 +42,9 @@ struct PlatformSpec
     double bandwidthGBs = 0.0;
     int bytesPerValue = 4;    ///< fp32 matrix elements
     int bytesPerIndex = 4;    ///< row ids / CSC bookkeeping entries
+    /** Per-chip inter-chip link bandwidth in GB/s (halo exchange,
+     *  DESIGN.md §9); 0 = unconstrained link (no halo floor). */
+    double interChipGBs = 0.0;
 };
 
 /** Registered platforms: `unconstrained` first, then real memory systems
@@ -65,10 +68,12 @@ struct MemoryTraffic
     Count denseBytes = 0;      ///< streamed dense-column loads
     Count outputBytes = 0;     ///< result-column writes
     Count migrationBytes = 0;  ///< remote-switch row migrations
+    Count haloBytes = 0;       ///< inter-chip boundary-row exchange (§9)
 
     Count total() const
     {
-        return sparseBytes + denseBytes + outputBytes + migrationBytes;
+        return sparseBytes + denseBytes + outputBytes + migrationBytes +
+               haloBytes;
     }
 
     MemoryTraffic &operator+=(const MemoryTraffic &o)
@@ -77,6 +82,7 @@ struct MemoryTraffic
         denseBytes += o.denseBytes;
         outputBytes += o.outputBytes;
         migrationBytes += o.migrationBytes;
+        haloBytes += o.haloBytes;
         return *this;
     }
 };
@@ -124,11 +130,22 @@ class MemoryModel
      *  0 on an unconstrained platform. */
     Cycle floorCycles(Count bytes) const;
 
+    /** Sustainable inter-chip link bytes per PE-clock cycle (0 when the
+     *  platform's link is unconstrained). */
+    double interChipBytesPerCycle() const { return linkBytesPerCycle_; }
+
+    /** Cycle floor for moving `bytes` over one chip's inter-chip link:
+     *  ceil(bytes / link_B_cyc); 0 on an unconstrained link. Composed
+     *  into the round barrier the same roofline way as floorCycles()
+     *  (DESIGN.md §9). */
+    Cycle haloFloorCycles(Count bytes) const;
+
     const PlatformSpec &platform() const { return platform_; }
 
   private:
     PlatformSpec platform_;
     double bytesPerCycle_ = 0.0;
+    double linkBytesPerCycle_ = 0.0;
 };
 
 } // namespace awb

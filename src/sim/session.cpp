@@ -89,7 +89,8 @@ Session::run(const WorkloadGraph &graph, StatsSink *sink)
         if (dbound != dense_.end())
             return cscCache.emplace(name, denseToCsc(dbound->second))
                 .first->second;
-        fatal("Session: sparse operand '" + name + "' is not bound or produced");
+        fatal("Session: sparse operand '" + name +
+              "' is not bound or produced");
     };
 
     SessionResult res;

@@ -31,7 +31,8 @@ WorkloadGraph::validate() const
     std::unordered_set<TensorId> produced;
     for (const auto &n : nodes_) {
         if (n.out.empty())
-            return std::string(opKindName(n.kind)) + " node has no output tensor";
+            return std::string(opKindName(n.kind)) +
+                   " node has no output tensor";
         if (!produced.insert(n.out).second)
             return "tensor '" + n.out + "' is produced by more than one node";
         if (known.count(n.out))

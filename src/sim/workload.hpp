@@ -68,11 +68,17 @@ struct WorkloadNode
     double alpha = 1.0;  ///< AddScaled coefficient
     std::string label;   ///< stats label; defaults to `out`
 
-    /** True when the node runs on the SpmmEngine and produces SpmmStats. */
-    bool costed() const { return kind == OpKind::Spmm || kind == OpKind::DenseMm; }
+    /** True when the node runs on the SpmmEngine, producing SpmmStats. */
+    bool costed() const
+    {
+        return kind == OpKind::Spmm || kind == OpKind::DenseMm;
+    }
 
     /** True for single-input nodes. */
-    bool unary() const { return kind == OpKind::Elementwise && ew == EwKind::Relu; }
+    bool unary() const
+    {
+        return kind == OpKind::Elementwise && ew == EwKind::Relu;
+    }
 };
 
 /**

@@ -29,7 +29,8 @@ class DenseMatrix
     /** Create a zero-initialized rows x cols matrix. */
     DenseMatrix(Index rows, Index cols)
         : rows_(rows), cols_(cols),
-          data_(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols),
+          data_(static_cast<std::size_t>(rows) *
+                    static_cast<std::size_t>(cols),
                 Value(0))
     {}
 
@@ -53,8 +54,14 @@ class DenseMatrix
     }
 
     /** Pointer to the start of row r. */
-    Value *rowPtr(Index r) { return data_.data() + static_cast<std::size_t>(r) * cols_; }
-    const Value *rowPtr(Index r) const { return data_.data() + static_cast<std::size_t>(r) * cols_; }
+    Value *rowPtr(Index r)
+    {
+        return data_.data() + static_cast<std::size_t>(r) * cols_;
+    }
+    const Value *rowPtr(Index r) const
+    {
+        return data_.data() + static_cast<std::size_t>(r) * cols_;
+    }
 
     const std::vector<Value> &data() const { return data_; }
     std::vector<Value> &data() { return data_; }

@@ -1,0 +1,302 @@
+/**
+ * @file
+ * Multi-chip scale-out tests (DESIGN.md §9): the chips=1 short-circuit
+ * is a bit-identical no-op against the chip-less twins for every paper
+ * policy on both cycle engines and the round-level model; halo-byte
+ * accounting matches a closed-form count on a hand-built adjacency;
+ * sharded execution stays functionally exact; and the halo curve is
+ * monotone in the chip count.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "accel/chip_partition.hpp"
+#include "accel/gcn_accel.hpp"
+#include "accel/perf_model.hpp"
+#include "accel/policy.hpp"
+#include "accel/scaleout.hpp"
+#include "accel/spmm_engine.hpp"
+#include "common/rng.hpp"
+#include "driver/sweep.hpp"
+#include "gcn/model.hpp"
+#include "graph/datasets.hpp"
+#include "sparse/coo.hpp"
+#include "sparse/spmm.hpp"
+
+using namespace awb;
+
+namespace {
+
+/** The six policies tied to paper figures (Fig. 14 designs + Table 3). */
+const std::vector<std::string> kPaperPolicies = {
+    "baseline", "local-a", "local-b", "remote-c", "remote-d", "eie-like",
+};
+
+void
+expectStatsIdentical(const SpmmStats &a, const SpmmStats &b)
+{
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.tasks, b.tasks);
+    EXPECT_EQ(a.idealCycles, b.idealCycles);
+    EXPECT_EQ(a.syncCycles, b.syncCycles);
+    EXPECT_EQ(a.peakQueueDepth, b.peakQueueDepth);
+    EXPECT_EQ(a.peakNetworkDepth, b.peakNetworkDepth);
+    EXPECT_EQ(a.rounds, b.rounds);
+    EXPECT_EQ(a.rowsSwitched, b.rowsSwitched);
+    EXPECT_EQ(a.convergedRound, b.convergedRound);
+    EXPECT_EQ(a.rawStalls, b.rawStalls);
+    EXPECT_EQ(a.traffic.total(), b.traffic.total());
+    EXPECT_EQ(a.traffic.haloBytes, b.traffic.haloBytes);
+    EXPECT_EQ(a.memoryCycles, b.memoryCycles);
+    EXPECT_EQ(a.bwBoundRounds, b.bwBoundRounds);
+    EXPECT_EQ(a.roundCycles, b.roundCycles);
+    EXPECT_EQ(a.perPeTasks, b.perPeTasks);
+}
+
+/** Hand-built 4x4 adjacency whose boundary rows are countable by hand:
+ *
+ *        columns j:   0  1  2  3
+ *      row 0:         x     x        (nnz: j=0, j=2)
+ *      row 1:            x           (nnz: j=1)
+ *      row 2:            x           (nnz: j=1)
+ *      row 3:         x        x     (nnz: j=0, j=3)
+ *
+ * With the baseline blocked split over 2 chips (rows {0,1} on chip 0,
+ * {2,3} on chip 1): chip 0 references remote dense row j=2 -> halo 1;
+ * chip 1 references remote rows j=0 and j=1 -> halo 2.
+ */
+CscMatrix
+handAdjacency()
+{
+    CooMatrix coo(4, 4);
+    coo.add(0, 0, 1.0f);
+    coo.add(0, 2, 2.0f);
+    coo.add(1, 1, 3.0f);
+    coo.add(2, 1, 4.0f);
+    coo.add(3, 0, 5.0f);
+    coo.add(3, 3, 6.0f);
+    coo.canonicalize();
+    return CscMatrix::fromCoo(coo);
+}
+
+} // namespace
+
+// ---------------------------------------------------------------- no-op
+
+/** chips=1 must be bit-identical to the chip-less twin: every paper
+ *  policy x dataset x engine, whole-GCN cycle runs. */
+class ChipsOneNoOp
+    : public ::testing::TestWithParam<
+          std::tuple<std::string, std::string, EngineKind>>
+{};
+
+TEST_P(ChipsOneNoOp, CycleGcnBitIdentical)
+{
+    auto [policy, dataset, engine] = GetParam();
+    auto ds = loadSyntheticByName(dataset, 11, 0.04);
+    auto model = makeGcnModel(ds.spec.f1, ds.spec.f2, ds.spec.f3, 11);
+
+    AccelConfig cfg = makePolicyConfig(policy, 16, hopBase(ds.spec));
+    cfg.engine = engine;
+    cfg.chips = 1;
+
+    GcnRunResult plain = runGcn(cfg, ds, model);
+    ShardedGcnResult shard = runGcnSharded(cfg, ds, model);
+
+    EXPECT_EQ(shard.scaleout.chips, 1);
+    EXPECT_EQ(shard.scaleout.haloBytes, 0);
+    EXPECT_EQ(shard.scaleout.haloCycles, 0);
+    EXPECT_EQ(plain.totalCycles, shard.result.totalCycles);
+    EXPECT_EQ(plain.totalCyclesSerial, shard.result.totalCyclesSerial);
+    EXPECT_EQ(plain.totalTasks, shard.result.totalTasks);
+    EXPECT_DOUBLE_EQ(plain.utilization, shard.result.utilization);
+    ASSERT_EQ(plain.layers.size(), shard.result.layers.size());
+    for (std::size_t l = 0; l < plain.layers.size(); ++l) {
+        expectStatsIdentical(plain.layers[l].xw, shard.result.layers[l].xw);
+        expectStatsIdentical(plain.layers[l].ax, shard.result.layers[l].ax);
+        EXPECT_EQ(plain.layers[l].pipelinedCycles,
+                  shard.result.layers[l].pipelinedCycles);
+    }
+    EXPECT_EQ(0.0, plain.output.maxAbsDiff(shard.result.output));
+}
+
+TEST_P(ChipsOneNoOp, PerfModelBitIdentical)
+{
+    auto [policy, dataset, engine] = GetParam();
+    if (engine != EngineKind::Event) GTEST_SKIP();  // engine-independent
+    const DatasetSpec &spec = findDataset(dataset);
+    auto prof = loadProfile(spec, 11, 0.2);
+
+    AccelConfig cfg = makePolicyConfig(policy, 64, hopBase(spec));
+    cfg.platform = "d5005-ddr4";  // exercise the memory model too
+    cfg.chips = 1;
+
+    PerfGcnResult plain = PerfModel(cfg).runGcn(prof);
+    ShardedPerfGcnResult shard = modelGcnSharded(cfg, prof);
+
+    EXPECT_EQ(shard.scaleout.haloBytes, 0);
+    EXPECT_EQ(plain.totalCycles, shard.result.totalCycles);
+    EXPECT_EQ(plain.totalTasks, shard.result.totalTasks);
+    EXPECT_EQ(plain.traffic.total(), shard.result.traffic.total());
+    EXPECT_EQ(plain.memoryCycles, shard.result.memoryCycles);
+    EXPECT_EQ(plain.bwBoundRounds, shard.result.bwBoundRounds);
+    EXPECT_DOUBLE_EQ(plain.utilization, shard.result.utilization);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperPolicies, ChipsOneNoOp,
+    ::testing::Combine(::testing::ValuesIn(kPaperPolicies),
+                       ::testing::Values("cora", "citeseer", "pubmed"),
+                       ::testing::Values(EngineKind::Event,
+                                         EngineKind::Batched)),
+    [](const auto &info) {
+        std::string s = std::get<0>(info.param) + "_" +
+                        std::get<1>(info.param) + "_" +
+                        engineKindName(std::get<2>(info.param));
+        for (auto &c : s)
+            if (c == '-') c = '_';
+        return s;
+    });
+
+// ------------------------------------------------------------ halo math
+
+TEST(ChipPartitionHalo, ClosedFormOnHandBuiltAdjacency)
+{
+    CscMatrix a = handAdjacency();
+    AccelConfig cfg = makePolicyConfig("baseline", 4, 1);
+    cfg.chips = 2;
+
+    ChipPartition cp = ChipPartition::build(cfg, a.rows(), a.rowNnz());
+    ASSERT_EQ(cp.chips(), 2);
+    // Baseline = blocked split: rows {0,1} / {2,3}.
+    EXPECT_EQ(cp.chipOf(0), 0);
+    EXPECT_EQ(cp.chipOf(1), 0);
+    EXPECT_EQ(cp.chipOf(2), 1);
+    EXPECT_EQ(cp.chipOf(3), 1);
+
+    // Counted by hand (see handAdjacency's comment).
+    std::vector<Count> halo = cp.haloRows(a);
+    ASSERT_EQ(halo.size(), 2u);
+    EXPECT_EQ(halo[0], 1);
+    EXPECT_EQ(halo[1], 2);
+
+    // One element of every halo row crosses the link per streamed
+    // column: K columns x (1 + 2) rows x 4 bytes.
+    DenseMatrix b(4, 5);
+    Rng rng(3);
+    b.fillUniform(rng, -1.0f, 1.0f);
+    ShardedSpmmResult res =
+        executeSpmmSharded(cfg, a, b, TdqKind::Tdq2OmegaCsc);
+    EXPECT_EQ(res.scaleout.haloBytes, 5 * 3 * 4);
+    EXPECT_EQ(res.result.stats.traffic.haloBytes, 5 * 3 * 4);
+    // Unconstrained link (default platform): bytes counted, no floor.
+    EXPECT_EQ(res.scaleout.haloCycles, 0);
+    EXPECT_EQ(res.scaleout.haloBoundRounds, 0);
+
+    // The sharded run stays functionally exact (same per-row add order).
+    EXPECT_EQ(0.0, res.result.c.maxAbsDiff(spmmCsc(a, b)));
+}
+
+TEST(ChipPartitionHalo, RectangularOperandHasNoHalo)
+{
+    // X x W: rectangular sparse operand, W replicated on every chip.
+    CooMatrix coo(4, 3);
+    coo.add(0, 0, 1.0f);
+    coo.add(1, 2, 1.0f);
+    coo.add(3, 1, 1.0f);
+    coo.canonicalize();
+    CscMatrix x = CscMatrix::fromCoo(coo);
+
+    AccelConfig cfg = makePolicyConfig("baseline", 4, 1);
+    cfg.chips = 2;
+    ChipPartition cp = ChipPartition::build(cfg, x.rows(), x.rowNnz());
+    for (Count h : cp.haloRows(x)) EXPECT_EQ(h, 0);
+}
+
+TEST(ChipPartitionHalo, SingleChipHasNoHalo)
+{
+    CscMatrix a = handAdjacency();
+    AccelConfig cfg = makePolicyConfig("remote-d", 4, 1);
+    cfg.chips = 1;
+    ChipPartition cp = ChipPartition::build(cfg, a.rows(), a.rowNnz());
+    for (Count h : cp.haloRows(a)) EXPECT_EQ(h, 0);
+}
+
+// ------------------------------------------------------- sharded exact
+
+TEST(ShardedSpmm, FunctionallyExactAndConservesTasks)
+{
+    auto ds = loadSyntheticByName("cora", 5, 0.1);
+    const CscMatrix &a = ds.adjacency;
+    DenseMatrix b(a.cols(), 7);
+    Rng rng(5);
+    b.fillUniform(rng, -1.0f, 1.0f);
+    DenseMatrix ref = spmmCsc(a, b);
+
+    for (int chips : {2, 3, 4}) {
+        AccelConfig cfg = makePolicyConfig("remote-d", 8, 1);
+        cfg.chips = chips;
+        ShardedSpmmResult res = executeSpmmSharded(cfg, a, b,
+                                                   TdqKind::Tdq2OmegaCsc);
+        EXPECT_EQ(res.scaleout.chips, chips);
+        EXPECT_LE(res.result.c.maxAbsDiff(ref), 1e-5) << chips << " chips";
+        EXPECT_EQ(res.result.stats.tasks, a.nnz() * b.cols());
+        EXPECT_EQ(res.result.stats.perPeTasks.size(),
+                  static_cast<std::size_t>(chips) * 8u);
+        EXPECT_GT(res.scaleout.haloBytes, 0);
+        EXPECT_GE(res.scaleout.chipImbalance, 1.0);
+    }
+}
+
+TEST(ShardedSpmm, HaloBytesMonotoneInChipCount)
+{
+    auto ds = loadSyntheticByName("citeseer", 7, 0.2);
+    const CscMatrix &a = ds.adjacency;
+    DenseMatrix b(a.cols(), 4);
+    Rng rng(7);
+    b.fillUniform(rng, -1.0f, 1.0f);
+
+    Count prev = -1;
+    for (int chips : {1, 2, 4, 8}) {
+        AccelConfig cfg = makePolicyConfig("remote-d", 8, 1);
+        cfg.chips = chips;
+        ShardedSpmmResult res = executeSpmmSharded(cfg, a, b,
+                                                   TdqKind::Tdq2OmegaCsc);
+        if (chips == 1) {
+            EXPECT_EQ(res.scaleout.haloBytes, 0);
+        }
+        EXPECT_GE(res.scaleout.haloBytes, prev) << chips << " chips";
+        prev = res.scaleout.haloBytes;
+    }
+}
+
+// -------------------------------------------------------------- sweep
+
+TEST(ScaleoutSweep, ChipsAxisSurfacesInJson)
+{
+    driver::SweepOptions opts;
+    opts.datasets = {"cora"};
+    opts.designs = {"remote-d"};
+    opts.peCounts = {16};
+    opts.modes = {driver::SweepMode::Model};
+    opts.chipCounts = {1, 2};
+    opts.scale = 0.3;
+    opts.threads = 1;
+
+    auto outcomes = driver::runSweep(opts);
+    ASSERT_EQ(outcomes.size(), 2u);
+    for (const auto &o : outcomes) EXPECT_TRUE(o.ok) << o.error;
+    EXPECT_EQ(outcomes[0].haloBytes, 0);
+    EXPECT_GT(outcomes[1].haloBytes, 0);
+
+    std::string json = driver::sweepToJson(opts, outcomes).dump(2);
+    for (const char *key :
+         {"\"chip_counts\"", "\"chips\"", "\"halo_bytes\"",
+          "\"halo_cycles\"", "\"halo_bound_rounds\"",
+          "\"chip_imbalance\""})
+        EXPECT_NE(json.find(key), std::string::npos) << key;
+}

@@ -237,7 +237,8 @@ TEST(Session, CarriesRowMapPerSparseOperand)
     // structure (runWorkload on the same bundle) keeps the tuned map, so
     // a second inference's layer-1 A-SPMM needs no further switching.
     sim::SessionResult second = sim::runWorkload(session, bundle);
-    EXPECT_LE(second.nodeStats[1].rowsSwitched, first.nodeStats[1].rowsSwitched);
+    EXPECT_LE(second.nodeStats[1].rowsSwitched,
+              first.nodeStats[1].rowsSwitched);
     EXPECT_LE(second.nodeStats[1].roundCycles.front(),
               first.nodeStats[1].roundCycles.front());
 }

@@ -1,0 +1,174 @@
+#!/usr/bin/env python3
+"""Bench-regression gate: diff freshly generated bench JSON documents
+against the baselines tracked in the repository.
+
+The tracked baselines (BENCH_engine.json, BENCH_memory.json,
+BENCH_scaleout.json) pin the simulator's *model outputs* — cycle counts,
+traffic bytes, round counts, convergence — which are deterministic
+functions of the seed and must never drift silently. Host-dependent
+measurements (any key containing ``wall_ms`` or ``speedup``, and the
+derived ``largest_paired_config`` summary built from them) are reported
+as advisory drift only.
+
+Usage:
+    check_bench.py BASELINE FRESH [BASELINE FRESH ...]
+    check_bench.py --self-test
+
+Exit status is 0 when every model field of every pair is bit-identical,
+1 otherwise. ``--self-test`` proves the gate can fail: it perturbs a
+deep copy of a synthetic document one field at a time and asserts the
+comparison rejects every cycle/traffic perturbation while accepting
+wall-clock drift.
+"""
+
+import copy
+import json
+import sys
+
+# Keys whose values are host/timing measurements, not model outputs.
+ADVISORY_SUBSTRINGS = ("wall_ms", "speedup", "latency_saved")
+# Subtrees derived from wall-clock measurements (engine summary).
+ADVISORY_KEYS = ("largest_paired_config",)
+
+
+def is_advisory(key):
+    if key in ADVISORY_KEYS:
+        return True
+    return any(s in key for s in ADVISORY_SUBSTRINGS)
+
+
+def diff(baseline, fresh, path, blocking, advisory):
+    """Recursively collect mismatches between two parsed JSON values."""
+    if isinstance(baseline, dict) and isinstance(fresh, dict):
+        for key in sorted(set(baseline) | set(fresh)):
+            sub = f"{path}.{key}" if path else key
+            sink = advisory if is_advisory(key) else blocking
+            if key not in baseline:
+                sink.append(f"{sub}: missing from baseline")
+            elif key not in fresh:
+                sink.append(f"{sub}: missing from fresh output")
+            elif is_advisory(key):
+                if baseline[key] != fresh[key]:
+                    advisory.append(
+                        f"{sub}: {baseline[key]!r} -> {fresh[key]!r}")
+            else:
+                diff(baseline[key], fresh[key], sub, blocking, advisory)
+        return
+    if isinstance(baseline, list) and isinstance(fresh, list):
+        if len(baseline) != len(fresh):
+            blocking.append(
+                f"{path}: length {len(baseline)} -> {len(fresh)}")
+            return
+        for i, (b, f) in enumerate(zip(baseline, fresh)):
+            diff(b, f, f"{path}[{i}]", blocking, advisory)
+        return
+    if baseline != fresh:
+        blocking.append(f"{path}: {baseline!r} -> {fresh!r}")
+
+
+def compare_files(baseline_path, fresh_path):
+    with open(baseline_path) as f:
+        baseline = json.load(f)
+    with open(fresh_path) as f:
+        fresh = json.load(f)
+    blocking, advisory = [], []
+    diff(baseline, fresh, "", blocking, advisory)
+    label = f"{baseline_path} vs {fresh_path}"
+    for line in advisory:
+        print(f"ADVISORY {label}: {line}")
+    for line in blocking:
+        print(f"FAIL {label}: {line}")
+    if not blocking:
+        extra = f" ({len(advisory)} advisory drift(s))" if advisory else ""
+        print(f"OK {label}: model fields bit-identical{extra}")
+    return not blocking
+
+
+def self_test():
+    """Prove the gate fails on perturbed model fields."""
+    doc = {
+        "schema": "awbsim-bench-engine-v1",
+        "seed": 1,
+        "points": [
+            {
+                "dataset": "cora",
+                "event": {"cycles": 36864, "wall_ms": 361.66},
+                "batched": {"cycles": 36864, "wall_ms": 19.97},
+                "speedup": 18.1,
+                "identical": True,
+                "traffic": {"halo_bytes": 0, "bytes_total": 123},
+            }
+        ],
+        "summary": {"all_identical": True,
+                    "largest_paired_config": {"speedup": 5.4}},
+    }
+
+    def verdict(fresh):
+        blocking, advisory = [], []
+        diff(doc, fresh, "", blocking, advisory)
+        return bool(blocking), bool(advisory)
+
+    failures = []
+
+    bad, _ = verdict(copy.deepcopy(doc))
+    if bad:
+        failures.append("identical documents flagged as regression")
+
+    p = copy.deepcopy(doc)
+    p["points"][0]["event"]["cycles"] += 1
+    bad, _ = verdict(p)
+    if not bad:
+        failures.append("perturbed cycles not caught")
+
+    p = copy.deepcopy(doc)
+    p["points"][0]["traffic"]["halo_bytes"] = 7
+    bad, _ = verdict(p)
+    if not bad:
+        failures.append("perturbed halo_bytes not caught")
+
+    p = copy.deepcopy(doc)
+    p["points"][0]["identical"] = False
+    bad, _ = verdict(p)
+    if not bad:
+        failures.append("flipped identical flag not caught")
+
+    p = copy.deepcopy(doc)
+    del p["points"][0]["batched"]
+    bad, _ = verdict(p)
+    if not bad:
+        failures.append("missing subtree not caught")
+
+    p = copy.deepcopy(doc)
+    p["points"][0]["event"]["wall_ms"] = 9999.0
+    p["points"][0]["speedup"] = 0.001
+    p["summary"]["largest_paired_config"]["speedup"] = 77.0
+    bad, drift = verdict(p)
+    if bad:
+        failures.append("wall-clock drift treated as regression")
+    if not drift:
+        failures.append("wall-clock drift not reported as advisory")
+
+    for f in failures:
+        print(f"SELF-TEST FAIL: {f}")
+    if not failures:
+        print("SELF-TEST OK: gate rejects model drift, tolerates "
+              "wall-clock drift")
+    return not failures
+
+
+def main(argv):
+    if len(argv) >= 2 and argv[1] == "--self-test":
+        return 0 if self_test() else 1
+    args = argv[1:]
+    if not args or len(args) % 2 != 0:
+        print(__doc__.strip())
+        return 2
+    ok = True
+    for baseline, fresh in zip(args[0::2], args[1::2]):
+        if not compare_files(baseline, fresh):
+            ok = False
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
