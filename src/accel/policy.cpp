@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "common/log.hpp"
+#include "common/text.hpp"
 
 namespace awb {
 
@@ -224,25 +225,6 @@ class PeriodicRechunkRebalance : public RebalancePolicy
 
 // ------------------------------------------------------------ helpers
 
-/** Levenshtein distance for near-miss suggestions in error messages. */
-std::size_t
-editDistance(const std::string &a, const std::string &b)
-{
-    std::vector<std::size_t> row(b.size() + 1);
-    std::iota(row.begin(), row.end(), std::size_t{0});
-    for (std::size_t i = 1; i <= a.size(); ++i) {
-        std::size_t diag = row[0];
-        row[0] = i;
-        for (std::size_t j = 1; j <= b.size(); ++j) {
-            std::size_t up = row[j];
-            row[j] = std::min({row[j] + 1, row[j - 1] + 1,
-                               diag + (a[i - 1] == b[j - 1] ? 0 : 1)});
-            diag = up;
-        }
-    }
-    return row[b.size()];
-}
-
 /** The enum-era derivation of the paper designs: partition from
  *  cfg.mapPolicy, rebalancing from cfg.remoteSwitching. */
 std::unique_ptr<PartitionPolicy>
@@ -424,23 +406,12 @@ PolicyRegistry::all() const
 std::string
 PolicyRegistry::nearest(const std::string &s) const
 {
-    std::string best;
-    std::size_t best_d = std::numeric_limits<std::size_t>::max();
+    std::vector<std::string> candidates;
     for (const auto &p : policies_) {
-        std::size_t d = editDistance(s, p->name);
-        if (d < best_d) {
-            best_d = d;
-            best = p->name;
-        }
-        for (const auto &a : p->aliases) {
-            d = editDistance(s, a);
-            if (d < best_d) {
-                best_d = d;
-                best = a;
-            }
-        }
+        candidates.push_back(p->name);
+        for (const auto &a : p->aliases) candidates.push_back(a);
     }
-    return best;
+    return nearestOf(s, candidates);
 }
 
 std::string

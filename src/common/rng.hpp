@@ -16,6 +16,18 @@
 
 namespace awb {
 
+/** splitmix64 finalizer (Vigna); full-avalanche mixing used everywhere a
+ *  derived seed must be decorrelated from the value it derives from
+ *  (per-point sweep seeds, per-stream serving seeds). */
+inline std::uint64_t
+splitmix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30U)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27U)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31U);
+}
+
 /**
  * PCG32 pseudo-random generator (O'Neill, 2014). Small, fast, and with
  * much better statistical quality than LCGs of the same size.

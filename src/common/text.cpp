@@ -1,0 +1,42 @@
+#include "common/text.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+namespace awb {
+
+std::size_t
+editDistance(const std::string &a, const std::string &b)
+{
+    std::vector<std::size_t> row(b.size() + 1);
+    std::iota(row.begin(), row.end(), std::size_t{0});
+    for (std::size_t i = 1; i <= a.size(); ++i) {
+        std::size_t diag = row[0];
+        row[0] = i;
+        for (std::size_t j = 1; j <= b.size(); ++j) {
+            std::size_t up = row[j];
+            row[j] = std::min({row[j] + 1, row[j - 1] + 1,
+                               diag + (a[i - 1] == b[j - 1] ? 0 : 1)});
+            diag = up;
+        }
+    }
+    return row[b.size()];
+}
+
+std::string
+nearestOf(const std::string &s, const std::vector<std::string> &candidates)
+{
+    std::string best;
+    std::size_t best_d = std::numeric_limits<std::size_t>::max();
+    for (const std::string &c : candidates) {
+        std::size_t d = editDistance(s, c);
+        if (d < best_d) {
+            best_d = d;
+            best = c;
+        }
+    }
+    return best;
+}
+
+} // namespace awb

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Small text utilities shared by the CLI registries: Levenshtein edit
+ * distance and nearest-name lookup for "did you mean ...?" suggestions.
+ * The policy registry (accel/policy.cpp) and the platform table
+ * (model/memory_model.cpp) both route unknown-name errors through
+ * nearestOf so every string-keyed surface fails the same helpful way.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace awb {
+
+/** Levenshtein distance between two strings. */
+std::size_t editDistance(const std::string &a, const std::string &b);
+
+/** The candidate closest to `s` by edit distance; earlier candidates win
+ *  ties. Empty string when `candidates` is empty. */
+std::string nearestOf(const std::string &s,
+                      const std::vector<std::string> &candidates);
+
+} // namespace awb

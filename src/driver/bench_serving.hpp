@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Serving baseline (`awbsim --bench-serving`): sweeps the open-loop
+ * arrival rate over ≥ 2 datasets on the model-fidelity serving stack
+ * (DESIGN.md §10), records the throughput-vs-p99 curve, runs one
+ * closed-loop experiment per dataset to pin the saturation throughput,
+ * verifies the serving gates — request conservation (offered ==
+ * completed + dropped + timed out), non-decreasing latency percentiles
+ * (p50 ≤ p95 ≤ p99 ≤ p999) and double-run byte-determinism per point —
+ * and emits the `awbsim-bench-serving-v1` JSON document
+ * (BENCH_serving.json), tracked in-repo and diffed by
+ * tools/check_bench.py in CI with the gates on the exit code.
+ * Implemented in bench/bench_serving.cpp (compiled into awbsim).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace awb::driver {
+
+/** Grid axes and knobs of one serving benchmark run. */
+struct BenchServingOptions
+{
+    std::vector<std::string> datasets = {"cora", "pubmed"};
+    /** Open-loop offered rates (requests/s) of the latency curve; the
+     *  span brackets both datasets' saturation knees at 2 devices. */
+    std::vector<double> rates = {25000.0,  50000.0,  100000.0,
+                                 200000.0, 400000.0, 800000.0};
+    std::string discipline = "dyn-batch";
+    int devices = 2;
+    double durationMs = 10.0;  ///< admission horizon per point
+    int clients = 16;          ///< closed-loop saturation population
+    std::string policy = "remote-d";
+    int pes = 64;
+    std::uint64_t seed = 1;
+    std::string jsonPath = "BENCH_serving.json";
+};
+
+/**
+ * Run the curve, print a latency table, write the JSON document.
+ * Returns 0 on success, 1 when a serving gate failed.
+ */
+int runBenchServing(const BenchServingOptions &opts);
+
+/** CLI front-end for `awbsim --bench-serving`; returns the exit code. */
+int runBenchServingCli(int argc, char **argv, int first);
+
+} // namespace awb::driver

@@ -10,7 +10,9 @@
 #include "driver/bench_engine.hpp"
 #include "driver/bench_memory.hpp"
 #include "driver/bench_scaleout.hpp"
+#include "driver/bench_serving.hpp"
 #include "driver/scenario.hpp"
+#include "driver/serve_cli.hpp"
 #include "driver/sweep.hpp"
 #include "model/memory_model.hpp"
 
@@ -39,6 +41,9 @@ printUsage()
         "  awbsim --list-platforms\n"
         "      List every registered off-chip memory platform usable\n"
         "      with --platforms (DESIGN.md §8).\n\n"
+        "  awbsim --list-disciplines\n"
+        "      List every registered serving batch discipline usable\n"
+        "      with --discipline (DESIGN.md §10).\n\n"
         "  awbsim run <scenario ...> [--seed N] [--scale S] [--repeat N]\n"
         "             [--json FILE] [args ...]\n"
         "      Run scenarios by name ('all' = every one). Extra\n"
@@ -113,7 +118,54 @@ printUsage()
         "      --policy P          balance policy (default remote-d)\n"
         "      --pes N             PE-array size per chip (default 1024)\n"
         "      --seed N / --scale S / --json FILE (default\n"
-        "                          BENCH_scaleout.json)\n");
+        "                          BENCH_scaleout.json)\n\n"
+        "  awbsim --serve [options]\n"
+        "      Serve a per-user inference request stream on N simulated\n"
+        "      accelerators and report SLO-percentile latency statistics\n"
+        "      (DESIGN.md §10).\n"
+        "      --dataset D         default cora\n"
+        "      --fidelity F        model (round-level, default) or cycle\n"
+        "      --arrivals A        open (Poisson, default) or closed\n"
+        "      --rate R            open-loop offered rate, requests/s\n"
+        "      --clients N         closed-loop client population\n"
+        "      --think-cycles N    closed-loop gap before reissue\n"
+        "      --duration-ms D     admission horizon in simulated ms\n"
+        "      --requests N        stop issuing after N requests\n"
+        "      --devices N         simulated accelerator count\n"
+        "      --discipline D      of fifo|sjf-nnz|dyn-batch (see\n"
+        "                          --list-disciplines)\n"
+        "      --max-batch N / --max-wait CYCLES   dyn-batch knobs\n"
+        "      --queue-cap N       admission queue bound (0 = unbounded)\n"
+        "      --timeout-cycles N  queue-age eviction deadline\n"
+        "      --slo-ms S          latency SLO for violation accounting\n"
+        "      --ego-frac F / --hops N / --max-ego-nodes N   request mix\n"
+        "      --design P / --pes N / --seed N / --scale S\n"
+        "      --json FILE         default awbsim_serve.json; '-' stdout\n\n"
+        "  awbsim --serve-sweep [options]\n"
+        "      Grid of serving runs: arrival rates x disciplines x\n"
+        "      device counts on a worker pool (same JSON at any thread\n"
+        "      count).\n"
+        "      --rates r1,r2,..    default 500,1000,2000,4000\n"
+        "      --disciplines d1,.. default fifo,dyn-batch\n"
+        "      --devices n1,n2,..  default 1,4\n"
+        "      --threads N         worker threads (default: hardware)\n"
+        "      plus every --serve knob for the shared base options;\n"
+        "      --json FILE (default awbsim_serve_sweep.json)\n\n"
+        "  awbsim --bench-serving [options]\n"
+        "      Serving baseline: open-loop throughput-vs-p99 curves over\n"
+        "      >= 2 datasets plus a closed-loop saturation point each,\n"
+        "      gated on request conservation, percentile ordering and\n"
+        "      double-run byte-determinism; writes the\n"
+        "      awbsim-bench-serving-v1 JSON document (BENCH_serving.json,\n"
+        "      tracked and diffed by tools/check_bench.py).\n"
+        "      --datasets a,b,..   default cora,pubmed\n"
+        "      --rates r1,r2,..    default 25000..800000, x2 steps\n"
+        "      --discipline D      default dyn-batch\n"
+        "      --devices N         default 2\n"
+        "      --duration-ms D     default 10\n"
+        "      --clients N         closed-loop population (default 16)\n"
+        "      --policy P / --pes N / --seed N / --json FILE (default\n"
+        "                          BENCH_serving.json)\n");
 }
 
 int
@@ -278,6 +330,13 @@ driverMain(int argc, char **argv)
         return runBenchMemoryCli(argc, argv, 2);
     if (cmd == "--bench-scaleout" || cmd == "bench-scaleout")
         return runBenchScaleoutCli(argc, argv, 2);
+    if (cmd == "--bench-serving" || cmd == "bench-serving")
+        return runBenchServingCli(argc, argv, 2);
+    if (cmd == "--list-disciplines") return listDisciplines();
+    if (cmd == "--serve" || cmd == "serve")
+        return runServeCli(argc, argv, 2);
+    if (cmd == "--serve-sweep" || cmd == "serve-sweep")
+        return runServeSweepCli(argc, argv, 2);
     printUsage();
     fatal("unknown command: " + cmd);
 }

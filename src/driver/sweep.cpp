@@ -27,16 +27,6 @@ namespace awb::driver {
 
 namespace {
 
-/** splitmix64 finalizer (Vigna); full-avalanche seed mixing. */
-std::uint64_t
-splitmix64(std::uint64_t x)
-{
-    x += 0x9e3779b97f4a7c15ULL;
-    x = (x ^ (x >> 30U)) * 0xbf58476d1ce4e5b9ULL;
-    x = (x ^ (x >> 27U)) * 0x94d049bb133111ebULL;
-    return x ^ (x >> 31U);
-}
-
 /** Fold cycle-level stats of one SPMM into the outcome accumulators. */
 void
 accumulate(SweepOutcome &out, const SpmmStats &s)
@@ -118,8 +108,11 @@ executeOnce(const SweepPoint &p, const SweepOptions &opts)
     if (sharded &&
         (p.mode == SweepMode::GraphSage || p.mode == SweepMode::Gin ||
          p.mode == SweepMode::KhopGcn)) {
-        out.error = "mode '" + sweepModeName(p.mode) +
-                    "' does not support multi-chip sharding";
+        out.error = "mode '" + sweepModeName(p.mode) + "' with chips=" +
+                    std::to_string(p.chips) +
+                    " is unsupported: the workload-graph modes "
+                    "(graphsage|gin|khop) run unsharded only; multi-chip "
+                    "sharding supports model|cycle|tdq1|tdq2";
         return out;
     }
 

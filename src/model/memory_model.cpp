@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/log.hpp"
+#include "common/text.hpp"
 
 namespace awb {
 
@@ -53,12 +54,22 @@ knownPlatformNames()
     return known;
 }
 
+std::string
+nearestPlatformName(const std::string &name)
+{
+    std::vector<std::string> candidates;
+    for (const PlatformSpec &p : knownPlatforms())
+        candidates.push_back(p.name);
+    return nearestOf(name, candidates);
+}
+
 const PlatformSpec &
 findPlatform(const std::string &name)
 {
     if (const PlatformSpec *p = findPlatformOrNull(name)) return *p;
-    fatal("unknown platform '" + name + "' (" + knownPlatformNames() +
-          ")");
+    fatal("unknown platform '" + name + "' — did you mean '" +
+          nearestPlatformName(name) + "'? (" + knownPlatformNames() +
+          "; awbsim --list-platforms shows details)");
 }
 
 MemoryModel::MemoryModel(const PlatformSpec &platform, double clock_mhz)

@@ -57,6 +57,11 @@ const PlatformSpec *findPlatformOrNull(const std::string &name);
 /** "unconstrained|ddr4-2400|..." — for error messages. */
 std::string knownPlatformNames();
 
+/** Registered platform name closest to `name` by edit distance — the
+ *  "did you mean ...?" suggestion findPlatform's error carries, same as
+ *  the policy registry's. */
+std::string nearestPlatformName(const std::string &name);
+
 /** Look up a platform by name; the empty string resolves to
  *  `unconstrained`. fatal() with the registered set on an unknown name. */
 const PlatformSpec &findPlatform(const std::string &name);

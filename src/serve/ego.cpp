@@ -1,0 +1,102 @@
+#include "serve/ego.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/log.hpp"
+
+namespace awb::serve {
+
+std::vector<Index>
+egoNodes(const CscMatrix &a, Index seed, int hops, Index max_nodes)
+{
+    if (seed < 0 || seed >= a.cols()) panic("egoNodes: seed out of range");
+    if (max_nodes < 1) max_nodes = 1;
+
+    std::vector<Index> nodes{seed};
+    std::unordered_map<Index, bool> seen{{seed, true}};
+    std::size_t frontier_begin = 0;
+    for (int h = 0; h < hops; ++h) {
+        const std::size_t frontier_end = nodes.size();
+        if (frontier_begin == frontier_end) break;
+        for (std::size_t f = frontier_begin; f < frontier_end; ++f) {
+            const Index u = nodes[f];
+            const Count lo = a.colPtr()[static_cast<std::size_t>(u)];
+            const Count hi = a.colPtr()[static_cast<std::size_t>(u) + 1];
+            for (Count p = lo; p < hi; ++p) {
+                const Index v = a.rowId()[static_cast<std::size_t>(p)];
+                if (seen.emplace(v, true).second) {
+                    nodes.push_back(v);
+                    if (static_cast<Index>(nodes.size()) >= max_nodes) {
+                        std::sort(nodes.begin(), nodes.end());
+                        return nodes;
+                    }
+                }
+            }
+        }
+        frontier_begin = frontier_end;
+    }
+    std::sort(nodes.begin(), nodes.end());
+    return nodes;
+}
+
+CscMatrix
+inducedSubgraph(const CscMatrix &a, const std::vector<Index> &nodes)
+{
+    const Index n = static_cast<Index>(nodes.size());
+    std::unordered_map<Index, Index> local;
+    local.reserve(nodes.size());
+    for (Index i = 0; i < n; ++i) {
+        if (i > 0 && nodes[static_cast<std::size_t>(i)] <=
+                         nodes[static_cast<std::size_t>(i) - 1])
+            panic("inducedSubgraph: node list must be sorted and unique");
+        local.emplace(nodes[static_cast<std::size_t>(i)], i);
+    }
+
+    std::vector<Count> col_ptr(static_cast<std::size_t>(n) + 1, 0);
+    std::vector<Index> row_id;
+    std::vector<Value> val;
+    for (Index j = 0; j < n; ++j) {
+        const Index gj = nodes[static_cast<std::size_t>(j)];
+        const Count lo = a.colPtr()[static_cast<std::size_t>(gj)];
+        const Count hi = a.colPtr()[static_cast<std::size_t>(gj) + 1];
+        for (Count p = lo; p < hi; ++p) {
+            auto it = local.find(a.rowId()[static_cast<std::size_t>(p)]);
+            if (it == local.end()) continue;
+            // Global rows are sorted within the column and the
+            // global→local map is monotone, so locals stay sorted.
+            row_id.push_back(it->second);
+            val.push_back(a.val()[static_cast<std::size_t>(p)]);
+        }
+        col_ptr[static_cast<std::size_t>(j) + 1] =
+            static_cast<Count>(row_id.size());
+    }
+    return CscMatrix::fromParts(n, n, std::move(col_ptr),
+                                std::move(row_id), std::move(val));
+}
+
+CsrMatrix
+selectRows(const CsrMatrix &x, const std::vector<Index> &nodes)
+{
+    const Index n = static_cast<Index>(nodes.size());
+    std::vector<Count> row_ptr(static_cast<std::size_t>(n) + 1, 0);
+    std::vector<Index> col_id;
+    std::vector<Value> val;
+    for (Index i = 0; i < n; ++i) {
+        const Index gi = nodes[static_cast<std::size_t>(i)];
+        if (gi < 0 || gi >= x.rows())
+            panic("selectRows: node id out of range");
+        const Count lo = x.rowPtr()[static_cast<std::size_t>(gi)];
+        const Count hi = x.rowPtr()[static_cast<std::size_t>(gi) + 1];
+        for (Count p = lo; p < hi; ++p) {
+            col_id.push_back(x.colId()[static_cast<std::size_t>(p)]);
+            val.push_back(x.val()[static_cast<std::size_t>(p)]);
+        }
+        row_ptr[static_cast<std::size_t>(i) + 1] =
+            static_cast<Count>(col_id.size());
+    }
+    return CsrMatrix::fromParts(n, x.cols(), std::move(row_ptr),
+                                std::move(col_id), std::move(val));
+}
+
+} // namespace awb::serve

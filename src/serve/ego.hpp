@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Ego-subgraph extraction: deterministic k-hop BFS node sets and induced
+ * sub-matrices over a dataset's adjacency/features (DESIGN.md §10). Used
+ * by the request generator (to profile a request's work at admission
+ * time) and by the cycle-fidelity service model (to materialize the
+ * matrices a batch actually executes on).
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "sparse/csc.hpp"
+#include "sparse/csr.hpp"
+
+namespace awb::serve {
+
+/**
+ * Nodes of the k-hop neighbourhood around `seed`, breadth-first, capped
+ * at `max_nodes` (frontier order decides who makes the cut, so hub
+ * explosions in power-law graphs stay bounded). A column's entries act
+ * as the node's neighbour list. Returned sorted ascending.
+ */
+std::vector<Index> egoNodes(const CscMatrix &a, Index seed, int hops,
+                            Index max_nodes);
+
+/** Induced sub-adjacency over sorted `nodes` (rows and columns both
+ *  restricted; local ids follow the sorted order). */
+CscMatrix inducedSubgraph(const CscMatrix &a,
+                          const std::vector<Index> &nodes);
+
+/** Feature-row subset: row i of the result is row nodes[i] of `x`. */
+CsrMatrix selectRows(const CsrMatrix &x, const std::vector<Index> &nodes);
+
+} // namespace awb::serve

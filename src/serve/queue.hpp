@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Admission-controlled request queue of the serving front end
+ * (DESIGN.md §10). A thin policy layer over the hardware Fifo: arrivals
+ * that find the queue full are *dropped* (counted, never blocked — an
+ * open-loop client does not wait for admission), and queued requests
+ * whose age exceeds the deadline are *timed out* and evicted before each
+ * dispatch decision. Both failure counts feed the SLO accounting.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "serve/request.hpp"
+#include "sim/fifo.hpp"
+
+namespace awb::serve {
+
+/** Bounded FIFO of waiting requests with drop/timeout accounting. */
+class RequestQueue
+{
+  public:
+    /** capacity == 0 means unbounded. */
+    explicit RequestQueue(std::size_t capacity) : q_(capacity) {}
+
+    /** Admit an arrival; false (and a counted drop) when full. */
+    bool
+    admit(Request r)
+    {
+        return q_.push(std::move(r));
+    }
+
+    /**
+     * Evict every queued request older than `timeout` cycles at time
+     * `now` (timeout == 0 disables). Returns the number evicted; the
+     * evicted requests are appended to `out` when given (closed-loop
+     * clients reissue on timeout).
+     */
+    std::size_t
+    expire(Cycle now, Cycle timeout, std::vector<Request> *out = nullptr)
+    {
+        if (timeout <= 0) return 0;
+        std::size_t evicted = 0;
+        for (std::size_t i = 0; i < q_.size();) {
+            if (now - q_.at(i).arrival > timeout) {
+                Request r = q_.erase(i);
+                if (out) out->push_back(std::move(r));
+                ++evicted;
+            } else {
+                ++i;
+            }
+        }
+        timedOut_ += static_cast<Count>(evicted);
+        return evicted;
+    }
+
+    /** Earliest cycle at which expire() would evict something, or -1
+     *  when nothing queued can time out. */
+    Cycle
+    nextExpiry(Cycle timeout) const
+    {
+        if (timeout <= 0 || q_.empty()) return -1;
+        Cycle earliest = -1;
+        for (std::size_t i = 0; i < q_.size(); ++i) {
+            const Cycle at = q_.at(i).arrival + timeout + 1;
+            if (earliest < 0 || at < earliest) earliest = at;
+        }
+        return earliest;
+    }
+
+    bool empty() const { return q_.empty(); }
+    std::size_t size() const { return q_.size(); }
+    const Request &at(std::size_t i) const { return q_.at(i); }
+    Request take(std::size_t i) { return q_.erase(i); }
+
+    Count dropped() const { return q_.rejectedPushes(); }
+    Count timedOut() const { return timedOut_; }
+    Count admitted() const { return q_.totalPushes(); }
+    std::size_t peakDepth() const { return q_.peakOccupancy(); }
+
+  private:
+    Fifo<Request> q_;
+    Count timedOut_ = 0;
+};
+
+} // namespace awb::serve

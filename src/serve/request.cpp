@@ -1,0 +1,26 @@
+#include "serve/request.hpp"
+
+namespace awb::serve {
+
+std::string
+workloadKindName(WorkloadKind k)
+{
+    switch (k) {
+      case WorkloadKind::Gcn: return "gcn";
+      case WorkloadKind::GraphSage: return "graphsage";
+      case WorkloadKind::Gin: return "gin";
+    }
+    return "?";
+}
+
+std::string
+requestScopeName(RequestScope s)
+{
+    switch (s) {
+      case RequestScope::Ego: return "ego";
+      case RequestScope::FullGraph: return "full";
+    }
+    return "?";
+}
+
+} // namespace awb::serve

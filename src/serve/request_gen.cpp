@@ -1,0 +1,72 @@
+#include "serve/request_gen.hpp"
+
+#include <cmath>
+
+#include "common/log.hpp"
+#include "serve/ego.hpp"
+
+namespace awb::serve {
+
+RequestGenerator::RequestGenerator(const Dataset &ds, const RequestMix &mix,
+                                   std::uint64_t seed)
+    : ds_(ds), mix_(mix),
+      bodyRng_(splitmix64(seed ^ 0x626f6479ULL), /*seq=*/0x51),
+      arrivalRng_(splitmix64(seed ^ 0x61727276ULL), /*seq=*/0x52)
+{
+    if (mix_.gcn < 0.0 || mix_.graphsage < 0.0 || mix_.gin < 0.0 ||
+        mix_.gcn + mix_.graphsage + mix_.gin <= 0.0)
+        fatal("RequestMix: kind weights must be non-negative, sum > 0");
+    if (mix_.egoFraction < 0.0 || mix_.egoFraction > 1.0)
+        fatal("RequestMix: egoFraction must be in [0, 1]");
+    if (mix_.hops < 1) fatal("RequestMix: hops must be >= 1");
+    if (mix_.maxEgoNodes < 1)
+        fatal("RequestMix: maxEgoNodes must be >= 1");
+}
+
+Request
+RequestGenerator::next()
+{
+    Request r;
+    r.id = nextId_++;
+
+    const double wsum = mix_.gcn + mix_.graphsage + mix_.gin;
+    const double uk = bodyRng_.nextDouble() * wsum;
+    r.kind = uk < mix_.gcn ? WorkloadKind::Gcn
+             : uk < mix_.gcn + mix_.graphsage ? WorkloadKind::GraphSage
+                                              : WorkloadKind::Gin;
+    r.scope = bodyRng_.nextDouble() < mix_.egoFraction
+                  ? RequestScope::Ego
+                  : RequestScope::FullGraph;
+    // Draw the seed node even for full-graph requests so the body
+    // stream's draw count per request is scope-independent (keeps the
+    // sequence aligned however the mix dices).
+    const Index seed_node = bodyRng_.nextIndex(ds_.adjacency.cols());
+
+    if (r.scope == RequestScope::FullGraph) {
+        r.nnz = ds_.adjacency.nnz();
+        return r;
+    }
+
+    r.seedNode = seed_node;
+    r.hops = mix_.hops;
+    r.nodes = egoNodes(ds_.adjacency, seed_node, mix_.hops,
+                       mix_.maxEgoNodes);
+    const CscMatrix sub = inducedSubgraph(ds_.adjacency, r.nodes);
+    r.aRowNnz = sub.rowNnz();
+    r.nnz = sub.nnz();
+    r.xRowNnz.reserve(r.nodes.size());
+    for (Index node : r.nodes) r.xRowNnz.push_back(ds_.features.rowNnz(node));
+    return r;
+}
+
+Cycle
+RequestGenerator::nextArrivalGap(double mean_cycles)
+{
+    if (mean_cycles <= 0.0) fatal("nextArrivalGap: mean must be positive");
+    // Exponential via inverse CDF; 1-u keeps the argument in (0, 1].
+    const double u = arrivalRng_.nextDouble();
+    const double gap = -std::log(1.0 - u) * mean_cycles;
+    return static_cast<Cycle>(std::llround(std::max(gap, 1.0)));
+}
+
+} // namespace awb::serve

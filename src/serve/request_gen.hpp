@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Deterministic request generation for the serving front end
+ * (DESIGN.md §10). A RequestGenerator owns two decorrelated PCG32
+ * streams seeded through splitmix64: one for request *bodies* (workload
+ * kind, scope, ego seed node — consumed strictly in issue order, so the
+ * body sequence is identical between open- and closed-loop runs of the
+ * same seed) and one for open-loop Poisson arrival gaps. Ego requests
+ * are profiled at generation time: the k-hop node set is extracted and
+ * the induced row-nnz vectors stored on the request, making every later
+ * stage (sjf cost key, both service fidelities) a pure function of the
+ * request.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "graph/datasets.hpp"
+#include "serve/request.hpp"
+
+namespace awb::serve {
+
+/** Workload-mix knobs of a request stream. */
+struct RequestMix
+{
+    /** Relative weights of the three workload kinds (normalized). */
+    double gcn = 0.6;
+    double graphsage = 0.3;
+    double gin = 0.1;
+    /** Fraction of requests that are ego-subgraph queries; the rest are
+     *  full-graph inferences. */
+    double egoFraction = 0.9;
+    int hops = 2;            ///< ego neighbourhood radius
+    Index maxEgoNodes = 256; ///< ego node-set cap (hub explosion bound)
+};
+
+/** Emits the per-user request stream over one dataset. */
+class RequestGenerator
+{
+  public:
+    /** `ds` must outlive the generator. */
+    RequestGenerator(const Dataset &ds, const RequestMix &mix,
+                     std::uint64_t seed);
+
+    /** Next request body in generation order (arrival/client unset). */
+    Request next();
+
+    /** Next Poisson arrival gap in cycles (exponential with the given
+     *  mean); consumed from the arrival stream only. */
+    Cycle nextArrivalGap(double mean_cycles);
+
+    /** Requests issued so far. */
+    std::uint64_t issued() const { return nextId_; }
+
+  private:
+    const Dataset &ds_;
+    RequestMix mix_;
+    Rng bodyRng_;
+    Rng arrivalRng_;
+    std::uint64_t nextId_ = 0;
+};
+
+} // namespace awb::serve

@@ -1,0 +1,176 @@
+#include "serve/scheduler.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+#include "common/text.hpp"
+
+namespace awb::serve {
+
+namespace {
+
+/** Requests batch together only within one (kind, scope) class. */
+bool
+sameClass(const Request &a, const Request &b)
+{
+    return a.kind == b.kind && a.scope == b.scope;
+}
+
+/** Strict FCFS, one request per dispatch. */
+class FifoDiscipline : public BatchDiscipline
+{
+  public:
+    std::vector<Request>
+    nextBatch(RequestQueue &queue, Cycle, Cycle *revisit_at) override
+    {
+        *revisit_at = -1;
+        std::vector<Request> batch;
+        if (!queue.empty()) batch.push_back(queue.take(0));
+        return batch;
+    }
+};
+
+/** Shortest job first by request nnz (FCFS tie-break), one per dispatch.
+ *  Classic latency optimizer; starves heavy full-graph requests under
+ *  load, which the p999/timeout columns make visible. */
+class SjfNnzDiscipline : public BatchDiscipline
+{
+  public:
+    std::vector<Request>
+    nextBatch(RequestQueue &queue, Cycle, Cycle *revisit_at) override
+    {
+        *revisit_at = -1;
+        std::vector<Request> batch;
+        if (queue.empty()) return batch;
+        std::size_t best = 0;
+        for (std::size_t i = 1; i < queue.size(); ++i)
+            if (queue.at(i).nnz < queue.at(best).nnz) best = i;
+        batch.push_back(queue.take(best));
+        return batch;
+    }
+};
+
+/**
+ * Dynamic batching: serve the front request together with up to
+ * maxBatch-1 later requests of its (kind, scope) class. Dispatch as soon
+ * as the batch is full, or once the front has waited maxWait cycles;
+ * until then hold and ask to be revisited at the front's deadline.
+ */
+class DynBatchDiscipline : public BatchDiscipline
+{
+  public:
+    explicit DynBatchDiscipline(const DisciplineParams &params)
+        : params_(params)
+    {
+        if (params_.maxBatch < 1)
+            fatal("dyn-batch: maxBatch must be >= 1");
+        if (params_.maxWait < 0) fatal("dyn-batch: maxWait must be >= 0");
+    }
+
+    std::vector<Request>
+    nextBatch(RequestQueue &queue, Cycle now, Cycle *revisit_at) override
+    {
+        *revisit_at = -1;
+        std::vector<Request> batch;
+        if (queue.empty()) return batch;
+
+        const Request &head = queue.at(0);
+        std::vector<std::size_t> members{0};
+        for (std::size_t i = 1;
+             i < queue.size() && members.size() < params_.maxBatch; ++i)
+            if (sameClass(queue.at(i), head)) members.push_back(i);
+
+        const Cycle deadline = head.arrival + params_.maxWait;
+        if (members.size() < params_.maxBatch && now < deadline) {
+            *revisit_at = deadline;
+            return batch;
+        }
+        // Take back to front so earlier indices stay valid.
+        batch.reserve(members.size());
+        for (std::size_t m = members.size(); m-- > 0;)
+            batch.push_back(queue.take(members[m]));
+        std::reverse(batch.begin(), batch.end());
+        return batch;
+    }
+
+  private:
+    DisciplineParams params_;
+};
+
+} // namespace
+
+DisciplineRegistry::DisciplineRegistry()
+{
+    add({"fifo", "first-come-first-served, one request per dispatch",
+         [](const DisciplineParams &) {
+             return std::make_unique<FifoDiscipline>();
+         }});
+    add({"sjf-nnz",
+         "shortest job first by request non-zero count (FCFS tie-break)",
+         [](const DisciplineParams &) {
+             return std::make_unique<SjfNnzDiscipline>();
+         }});
+    add({"dyn-batch",
+         "coalesce up to max-batch same-class requests, front waits up to "
+         "max-wait cycles",
+         [](const DisciplineParams &params) {
+             return std::make_unique<DynBatchDiscipline>(params);
+         }});
+}
+
+DisciplineRegistry &
+DisciplineRegistry::instance()
+{
+    static DisciplineRegistry registry;
+    return registry;
+}
+
+void
+DisciplineRegistry::add(DisciplineSpec spec)
+{
+    if (find(spec.name))
+        fatal("duplicate batch discipline '" + spec.name + "'");
+    specs_.push_back(std::make_unique<DisciplineSpec>(std::move(spec)));
+}
+
+const DisciplineSpec *
+DisciplineRegistry::find(const std::string &name) const
+{
+    for (const auto &spec : specs_)
+        if (spec->name == name) return spec.get();
+    return nullptr;
+}
+
+const DisciplineSpec &
+DisciplineRegistry::get(const std::string &name) const
+{
+    if (const DisciplineSpec *spec = find(name)) return *spec;
+    fatal("unknown batch discipline '" + name + "' — did you mean '" +
+          nearest(name) + "'? (awbsim --list-disciplines shows all)");
+}
+
+std::vector<const DisciplineSpec *>
+DisciplineRegistry::all() const
+{
+    std::vector<const DisciplineSpec *> out;
+    out.reserve(specs_.size());
+    for (const auto &spec : specs_) out.push_back(spec.get());
+    return out;
+}
+
+std::string
+DisciplineRegistry::nearest(const std::string &s) const
+{
+    std::vector<std::string> names;
+    names.reserve(specs_.size());
+    for (const auto &spec : specs_) names.push_back(spec->name);
+    return nearestOf(s, names);
+}
+
+std::unique_ptr<BatchDiscipline>
+makeDiscipline(const std::string &name, const DisciplineParams &params)
+{
+    return DisciplineRegistry::instance().get(name).make(params);
+}
+
+} // namespace awb::serve

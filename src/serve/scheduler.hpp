@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Pluggable batching disciplines for the serving scheduler
+ * (DESIGN.md §10), mirroring the balance-policy registry of
+ * accel/policy.hpp: each discipline is a named strategy in a
+ * process-wide string-keyed registry, so a new scheduling idea is one
+ * registration instead of a switch spread across the event loop.
+ *
+ * Three ship built in:
+ *  - `fifo`       — strict arrival order, one request per dispatch;
+ *  - `sjf-nnz`    — shortest-job-first keyed by the request's non-zero
+ *                   count (the work both fidelities charge for);
+ *  - `dyn-batch`  — dynamic batching: coalesce up to maxBatch requests
+ *                   of the front request's (kind, scope) class, waiting
+ *                   up to maxWait cycles for the batch to fill.
+ *
+ * Batched requests must share (kind, scope): a batch runs as one fused
+ * inference (block-diagonal merge for ego scopes, result sharing for
+ * full-graph scopes), which is only meaningful within one model class.
+ */
+
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "serve/queue.hpp"
+#include "serve/request.hpp"
+
+namespace awb::serve {
+
+/** Knobs a discipline may consume (others ignore them). */
+struct DisciplineParams
+{
+    std::size_t maxBatch = 8;  ///< dyn-batch: batch-size cap
+    Cycle maxWait = 20000;     ///< dyn-batch: max cycles the front waits
+};
+
+/**
+ * One scheduling strategy. A discipline instance lives for one serving
+ * run and is consulted whenever a device is free; it may hold state
+ * (none of the built-ins do). Implementations must be deterministic
+ * functions of (queue contents, now).
+ */
+class BatchDiscipline
+{
+  public:
+    virtual ~BatchDiscipline() = default;
+
+    /**
+     * Remove and return the next batch to dispatch at time `now`, or an
+     * empty vector to hold (queue non-empty but the discipline prefers
+     * to wait). When holding, `revisit_at` is set to the earliest cycle
+     * the decision may flip without a new arrival (-1 = only an arrival
+     * can change it). All returned requests share (kind, scope).
+     */
+    virtual std::vector<Request> nextBatch(RequestQueue &queue, Cycle now,
+                                           Cycle *revisit_at) = 0;
+};
+
+/** Factory signature: build a discipline instance for one run. */
+using DisciplineFactory =
+    std::function<std::unique_ptr<BatchDiscipline>(const DisciplineParams &)>;
+
+/** A named, registered batching discipline. */
+struct DisciplineSpec
+{
+    std::string name;         ///< registry key (kebab-case)
+    std::string description;  ///< one-liner for `awbsim --list-disciplines`
+    DisciplineFactory make;
+};
+
+/**
+ * Process-wide discipline registry (the PolicyRegistry pattern).
+ * Built-ins register on first access; user code may add() more before
+ * the first serving run. Thread-safe for concurrent lookups (serve-sweep
+ * workers); add() must not race with lookups.
+ */
+class DisciplineRegistry
+{
+  public:
+    static DisciplineRegistry &instance();
+
+    /** Register a discipline; fatal() on a duplicate name. */
+    void add(DisciplineSpec spec);
+
+    /** nullptr when unknown. */
+    const DisciplineSpec *find(const std::string &name) const;
+
+    /** fatal() with a near-miss suggestion when unknown. */
+    const DisciplineSpec &get(const std::string &name) const;
+
+    /** All disciplines in registration order (built-ins first). */
+    std::vector<const DisciplineSpec *> all() const;
+
+    /** Closest registered name to `s` (for error messages). */
+    std::string nearest(const std::string &s) const;
+
+  private:
+    DisciplineRegistry();
+    std::vector<std::unique_ptr<DisciplineSpec>> specs_;
+};
+
+/** Shorthand: DisciplineRegistry::instance().get(name).make(params). */
+std::unique_ptr<BatchDiscipline> makeDiscipline(const std::string &name,
+                                                const DisciplineParams &params);
+
+} // namespace awb::serve

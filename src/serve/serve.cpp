@@ -1,0 +1,314 @@
+#include "serve/serve.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <utility>
+
+#include "accel/policy.hpp"
+#include "common/log.hpp"
+#include "serve/queue.hpp"
+
+namespace awb::serve {
+
+namespace {
+
+constexpr std::size_t kNumKinds = 3;
+
+/** A scheduled future arrival. `seq` breaks same-cycle ties in push
+ *  order, which keeps the heap deterministic. */
+struct PendingArrival
+{
+    Cycle at = 0;
+    std::uint64_t seq = 0;
+    Request req;
+};
+
+struct ArrivalLater
+{
+    bool
+    operator()(const PendingArrival &a, const PendingArrival &b) const
+    {
+        return a.at != b.at ? a.at > b.at : a.seq > b.seq;
+    }
+};
+
+/** One virtual accelerator: a clock plus the batch in flight. */
+struct Device
+{
+    bool busy = false;
+    Cycle freeAt = 0;
+    std::vector<Request> batch;
+    Cycle busyCycles = 0;
+    Count batches = 0;
+    Count served = 0;
+};
+
+/**
+ * The event loop proper. `gen` == nullptr runs trace mode: `trace`
+ * requests arrive at their pre-set `arrival` cycles and no new requests
+ * are ever issued.
+ */
+ServeResult
+runLoop(const ServeOptions &opts, ServiceModel &svc, RequestGenerator *gen,
+        std::vector<Request> trace, double clock_mhz)
+{
+    if (opts.devices < 1) fatal("--serve: devices must be >= 1");
+
+    ServeResult res;
+    res.clockMhz = clock_mhz;
+    res.horizonCycles = static_cast<Cycle>(
+        std::llround(opts.durationMs * clock_mhz * 1000.0));
+    if (opts.sloMs > 0.0)
+        res.sloCycles = static_cast<Cycle>(
+            std::llround(opts.sloMs * clock_mhz * 1000.0));
+
+    RequestQueue queue(opts.queueCapacity);
+    std::unique_ptr<BatchDiscipline> discipline =
+        makeDiscipline(opts.discipline, opts.disciplineParams);
+    std::vector<Device> devices(static_cast<std::size_t>(opts.devices));
+
+    std::priority_queue<PendingArrival, std::vector<PendingArrival>,
+                        ArrivalLater>
+        pending;
+    std::uint64_t seq = 0;
+    auto pushArrival = [&](Request r, Cycle at) {
+        r.arrival = at;
+        pending.push({at, seq++, std::move(r)});
+    };
+
+    const bool open = gen && opts.arrivals == ArrivalMode::Open;
+    const bool closed = gen && opts.arrivals == ArrivalMode::Closed;
+    const double mean_gap =
+        open ? clock_mhz * 1e6 / opts.ratePerSec : 0.0;
+    Cycle last_arrival = 0;
+    auto capped = [&]() {
+        return opts.requestCap != 0 && gen->issued() >= opts.requestCap;
+    };
+    // Open loop: exactly one future arrival is pending at a time, so
+    // body and gap streams are both consumed in issue order.
+    auto scheduleOpen = [&]() {
+        if (capped()) return;
+        const Cycle at = last_arrival + gen->nextArrivalGap(mean_gap);
+        if (at > res.horizonCycles) return;
+        last_arrival = at;
+        pushArrival(gen->next(), at);
+    };
+    auto reissue = [&](int client, Cycle at) {
+        if (at > res.horizonCycles || capped()) return;
+        Request r = gen->next();
+        r.client = client;
+        pushArrival(std::move(r), at);
+    };
+
+    if (open) {
+        if (opts.ratePerSec <= 0.0)
+            fatal("--serve: open-loop rate must be positive");
+        scheduleOpen();
+    } else if (closed) {
+        if (opts.clients < 1) fatal("--serve: clients must be >= 1");
+        if (opts.queueCapacity != 0 &&
+            opts.queueCapacity < static_cast<std::size_t>(opts.clients))
+            fatal("--serve: closed-loop queue capacity below the client "
+                  "population would starve clients at admission");
+        for (int c = 0; c < opts.clients; ++c) reissue(c, 0);
+    } else {
+        for (Request &r : trace) {
+            const Cycle at = r.arrival;
+            pushArrival(std::move(r), at);
+        }
+    }
+
+    std::vector<Cycle> latencies;
+    std::vector<std::vector<Cycle>> kind_lat(kNumKinds);
+    std::vector<Cycle> waits;
+    Count dispatched = 0;
+    DepthTrace depth;
+    depth.record(0, 0);
+
+    Cycle now = 0;
+    Cycle revisit = -1;
+    for (;;) {
+        Cycle next = -1;
+        auto consider = [&](Cycle t) {
+            if (t >= 0 && (next < 0 || t < next)) next = t;
+        };
+        if (!pending.empty()) consider(pending.top().at);
+        for (const Device &d : devices)
+            if (d.busy) consider(d.freeAt);
+        consider(queue.nextExpiry(opts.timeoutCycles));
+        consider(revisit);
+        if (next < 0) break;
+        now = next;
+        revisit = -1;
+
+        // 1. Completions, devices in id order, batch members in batch
+        //    order (fixes the closed-loop reissue sequence).
+        for (Device &d : devices) {
+            if (!d.busy || d.freeAt != now) continue;
+            for (const Request &r : d.batch) {
+                const Cycle lat = now - r.arrival;
+                latencies.push_back(lat);
+                kind_lat[static_cast<std::size_t>(r.kind)].push_back(lat);
+                if (r.scope == RequestScope::Ego)
+                    ++res.egoCompleted;
+                else
+                    ++res.fullCompleted;
+                if (res.sloCycles > 0 && lat > res.sloCycles)
+                    ++res.sloViolations;
+                ++d.served;
+                if (closed) reissue(r.client, now + opts.thinkCycles);
+            }
+            d.batch.clear();
+            d.busy = false;
+        }
+
+        // 2. Arrivals (<= catches zero-think closed-loop reissues
+        //    scheduled at `now` during step 1).
+        while (!pending.empty() && pending.top().at <= now) {
+            PendingArrival a = pending.top();
+            pending.pop();
+            ++res.offered;
+            queue.admit(std::move(a.req));
+            if (open) scheduleOpen();
+        }
+
+        // 3. Timeout evictions; closed-loop clients reissue so the
+        //    population stays fixed.
+        std::vector<Request> evicted;
+        queue.expire(now, opts.timeoutCycles, closed ? &evicted : nullptr);
+        for (const Request &r : evicted)
+            reissue(r.client, now + opts.thinkCycles);
+
+        // 4. Dispatch onto free devices in id order. A held decision
+        //    applies to every remaining device (same queue view).
+        for (Device &d : devices) {
+            if (d.busy) continue;
+            if (queue.empty()) break;
+            Cycle rev = -1;
+            std::vector<Request> batch =
+                discipline->nextBatch(queue, now, &rev);
+            if (batch.empty()) {
+                if (rev >= 0 && (revisit < 0 || rev < revisit))
+                    revisit = rev;
+                break;
+            }
+            for (const Request &r : batch)
+                waits.push_back(now - r.arrival);
+            dispatched += static_cast<Count>(batch.size());
+            const Cycle cost = std::max<Cycle>(1, svc.batchCycles(batch));
+            d.busy = true;
+            d.freeAt = now + cost;
+            d.busyCycles += cost;
+            ++d.batches;
+            d.batch = std::move(batch);
+        }
+
+        depth.record(now, queue.size());
+    }
+
+    res.endCycle = now;
+    res.admitted = queue.admitted();
+    res.dropped = queue.dropped();
+    res.timedOut = queue.timedOut();
+    res.completed = static_cast<Count>(latencies.size());
+    res.latency = summarizeLatencies(latencies);
+    res.queueWait = summarizeLatencies(waits);
+    res.kindLatency.resize(kNumKinds);
+    for (std::size_t k = 0; k < kNumKinds; ++k)
+        res.kindLatency[k] = summarizeLatencies(kind_lat[k]);
+    if (res.sloCycles > 0) res.sloViolations += res.dropped + res.timedOut;
+    res.peakQueueDepth = queue.peakDepth();
+    res.meanQueueDepth = depth.meanDepth(res.endCycle);
+    res.depthTrace = depth.bucketed(res.endCycle, 64);
+    res.devices.reserve(devices.size());
+    Count total_batches = 0;
+    for (std::size_t i = 0; i < devices.size(); ++i) {
+        DeviceStats ds;
+        ds.id = static_cast<int>(i);
+        ds.batches = devices[i].batches;
+        ds.requests = devices[i].served;
+        ds.busyCycles = devices[i].busyCycles;
+        ds.utilization =
+            res.endCycle > 0 ? static_cast<double>(devices[i].busyCycles) /
+                                   static_cast<double>(res.endCycle)
+                             : 0.0;
+        total_batches += devices[i].batches;
+        res.devices.push_back(ds);
+    }
+    res.batches = total_batches;
+    res.meanBatchSize = total_batches > 0 ? static_cast<double>(dispatched) /
+                                                static_cast<double>(
+                                                    total_batches)
+                                          : 0.0;
+    const double secs =
+        static_cast<double>(res.endCycle) / (clock_mhz * 1e6);
+    res.offeredRps =
+        secs > 0.0 ? static_cast<double>(res.offered) / secs : 0.0;
+    res.throughputRps =
+        secs > 0.0 ? static_cast<double>(res.completed) / secs : 0.0;
+    return res;
+}
+
+} // namespace
+
+std::string
+serveFidelityName(ServeFidelity f)
+{
+    return f == ServeFidelity::Model ? "model" : "cycle";
+}
+
+ServeFidelity
+parseServeFidelity(const std::string &s)
+{
+    if (s == "model") return ServeFidelity::Model;
+    if (s == "cycle") return ServeFidelity::Cycle;
+    fatal("unknown serving fidelity '" + s + "' (model|cycle)");
+}
+
+std::string
+arrivalModeName(ArrivalMode m)
+{
+    return m == ArrivalMode::Open ? "open" : "closed";
+}
+
+ArrivalMode
+parseArrivalMode(const std::string &s)
+{
+    if (s == "open") return ArrivalMode::Open;
+    if (s == "closed") return ArrivalMode::Closed;
+    fatal("unknown arrival mode '" + s + "' (open|closed)");
+}
+
+double
+cyclesToMs(Cycle cycles, double clock_mhz)
+{
+    return static_cast<double>(cycles) / (clock_mhz * 1000.0);
+}
+
+ServeResult
+runServe(const ServeOptions &opts)
+{
+    const DatasetSpec &spec = findDataset(opts.dataset);
+    const AccelConfig cfg =
+        makePolicyConfig(opts.design, opts.numPes, hopBase(spec));
+    const double clock = policyClockMhz(cfg);
+    const Dataset ds = loadSynthetic(spec, opts.seed, opts.scale);
+    RequestGenerator gen(ds, opts.mix, opts.seed);
+    if (opts.fidelity == ServeFidelity::Model) {
+        ModelServiceModel svc(ds, cfg);
+        return runLoop(opts, svc, &gen, {}, clock);
+    }
+    CycleServiceModel svc(ds, cfg, opts.seed);
+    return runLoop(opts, svc, &gen, {}, clock);
+}
+
+ServeResult
+runServeTrace(std::vector<Request> trace, ServiceModel &svc,
+              const ServeOptions &opts)
+{
+    // No dataset/policy is involved; report at the paper's FPGA clock.
+    return runLoop(opts, svc, nullptr, std::move(trace), 275.0);
+}
+
+} // namespace awb::serve

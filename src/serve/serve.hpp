@@ -1,0 +1,138 @@
+/**
+ * @file
+ * The serving event loop (DESIGN.md §10): request stream → admission
+ * queue → batching discipline → N virtual accelerator devices, each
+ * advancing a simulated-cycle clock by the service model's cost for the
+ * batches it executes. The loop is single-threaded and event-ordered
+ * (completions, then arrivals, then timeout evictions, then dispatch,
+ * with fixed id-order tie-breaks), so a run is a deterministic function
+ * of its options — byte-identical output at any host thread count.
+ *
+ * Two arrival regimes:
+ *  - open loop: Poisson arrivals at a fixed offered rate until the
+ *    admission horizon; the standard latency-vs-throughput probe;
+ *  - closed loop: C clients, each issuing its next request when the
+ *    previous completes (or times out) plus a think time; measures the
+ *    saturation throughput of the device pool.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/request_gen.hpp"
+#include "serve/scheduler.hpp"
+#include "serve/service.hpp"
+#include "serve/stats.hpp"
+
+namespace awb::serve {
+
+/** Which service-time oracle cost the batches. */
+enum class ServeFidelity
+{
+    Model,  ///< round-level PerfModel over merged profiles
+    Cycle,  ///< cycle-accurate Session over materialized subgraphs
+};
+
+/** "model" / "cycle". */
+std::string serveFidelityName(ServeFidelity f);
+
+/** Parse a fidelity name; fatal() with the valid set when unknown. */
+ServeFidelity parseServeFidelity(const std::string &s);
+
+/** How requests enter the system. */
+enum class ArrivalMode
+{
+    Open,    ///< Poisson arrivals at a fixed offered rate
+    Closed,  ///< fixed client population, issue-on-completion
+};
+
+/** "open" / "closed". */
+std::string arrivalModeName(ArrivalMode m);
+
+/** Parse an arrival-mode name; fatal() when unknown. */
+ArrivalMode parseArrivalMode(const std::string &s);
+
+/** Everything one serving run needs. */
+struct ServeOptions
+{
+    std::string dataset = "cora";
+    ServeFidelity fidelity = ServeFidelity::Model;
+    ArrivalMode arrivals = ArrivalMode::Open;
+    double ratePerSec = 2000.0;  ///< open loop: offered arrival rate
+    int clients = 8;             ///< closed loop: client population
+    Cycle thinkCycles = 0;       ///< closed loop: gap before reissue
+    double durationMs = 10.0;    ///< admission horizon (simulated ms)
+    std::uint64_t requestCap = 0;  ///< stop issuing after N (0 = horizon)
+    int devices = 1;             ///< simulated accelerator count
+    std::string discipline = "fifo";
+    DisciplineParams disciplineParams;
+    std::size_t queueCapacity = 1024;  ///< 0 = unbounded
+    Cycle timeoutCycles = 0;     ///< queue-age eviction deadline (0 = off)
+    double sloMs = 0.0;          ///< latency SLO (0 = no SLO accounting)
+    RequestMix mix;
+    std::uint64_t seed = 1;
+    std::string design = "remote-d";  ///< registered balance policy
+    int numPes = 64;
+    double scale = 1.0;          ///< dataset scale (cycle fidelity)
+};
+
+/** Per-device outcome. */
+struct DeviceStats
+{
+    int id = 0;
+    Count batches = 0;
+    Count requests = 0;
+    Cycle busyCycles = 0;
+    double utilization = 0.0;  ///< busy / endCycle
+};
+
+/** Everything one serving run produces. */
+struct ServeResult
+{
+    double clockMhz = 0.0;
+    Cycle horizonCycles = 0;
+    Cycle endCycle = 0;      ///< last event (backlog fully drained)
+    Count offered = 0;       ///< requests that arrived
+    Count admitted = 0;
+    Count dropped = 0;       ///< rejected at admission (queue full)
+    Count timedOut = 0;      ///< evicted after aging out in the queue
+    Count completed = 0;
+    Count batches = 0;
+    double meanBatchSize = 0.0;
+    LatencySummary latency;    ///< completion - arrival, cycles
+    LatencySummary queueWait;  ///< dispatch - arrival, cycles
+    /** Per workload kind, indexed by WorkloadKind cast to size_t. */
+    std::vector<LatencySummary> kindLatency;
+    Count egoCompleted = 0;
+    Count fullCompleted = 0;
+    Cycle sloCycles = 0;
+    /** Completions over the SLO, plus drops and timeouts. */
+    Count sloViolations = 0;
+    std::size_t peakQueueDepth = 0;
+    double meanQueueDepth = 0.0;
+    std::vector<DepthSample> depthTrace;  ///< bucketed, <= 64 steps
+    std::vector<DeviceStats> devices;
+    double offeredRps = 0.0;     ///< offered / simulated seconds
+    double throughputRps = 0.0;  ///< completed / simulated seconds
+};
+
+/** Completed requests per simulated second at `clock_mhz`. */
+double cyclesToMs(Cycle cycles, double clock_mhz);
+
+/** Run one serving experiment end to end. fatal() on invalid options. */
+ServeResult runServe(const ServeOptions &opts);
+
+/**
+ * Test seam: drive the same event loop over a hand-built arrival trace
+ * (each request's `arrival` pre-set; `client` < 0) and an external
+ * service model. Uses opts.devices / discipline / queueCapacity /
+ * timeoutCycles; the generator, dataset and arrival-regime options are
+ * ignored. Latencies are then closed-form checkable.
+ */
+ServeResult runServeTrace(std::vector<Request> trace, ServiceModel &svc,
+                          const ServeOptions &opts);
+
+} // namespace awb::serve

@@ -1,0 +1,256 @@
+#include "serve/service.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "accel/policy.hpp"
+#include "common/log.hpp"
+#include "serve/ego.hpp"
+#include "sim/factories.hpp"
+#include "sim/session.hpp"
+
+namespace awb::serve {
+
+namespace {
+
+/** Uniform per-row non-zero estimate for an un-materialized operand
+ *  (the post-ReLU hidden features — same closure loadProfile() uses). */
+Count
+uniformRowNnz(double density, Index cols)
+{
+    return std::max<Count>(
+        1, static_cast<Count>(std::llround(density * cols)));
+}
+
+} // namespace
+
+CscMatrix
+blockDiag(const std::vector<CscMatrix> &blocks)
+{
+    Index n = 0;
+    Count nnz = 0;
+    for (const CscMatrix &b : blocks) {
+        if (b.rows() != b.cols()) panic("blockDiag: blocks must be square");
+        n += b.rows();
+        nnz += b.nnz();
+    }
+    std::vector<Count> col_ptr;
+    std::vector<Index> row_id;
+    std::vector<Value> val;
+    col_ptr.reserve(static_cast<std::size_t>(n) + 1);
+    row_id.reserve(static_cast<std::size_t>(nnz));
+    val.reserve(static_cast<std::size_t>(nnz));
+    col_ptr.push_back(0);
+    Index base = 0;
+    for (const CscMatrix &b : blocks) {
+        for (Index j = 0; j < b.cols(); ++j) {
+            const Count lo = b.colPtr()[static_cast<std::size_t>(j)];
+            const Count hi = b.colPtr()[static_cast<std::size_t>(j) + 1];
+            for (Count p = lo; p < hi; ++p) {
+                row_id.push_back(base +
+                                 b.rowId()[static_cast<std::size_t>(p)]);
+                val.push_back(b.val()[static_cast<std::size_t>(p)]);
+            }
+            col_ptr.push_back(static_cast<Count>(row_id.size()));
+        }
+        base += b.rows();
+    }
+    return CscMatrix::fromParts(n, n, std::move(col_ptr), std::move(row_id),
+                                std::move(val));
+}
+
+CsrMatrix
+stackRows(const std::vector<CsrMatrix> &parts)
+{
+    if (parts.empty()) panic("stackRows: no parts");
+    const Index cols = parts.front().cols();
+    Index rows = 0;
+    Count nnz = 0;
+    for (const CsrMatrix &p : parts) {
+        if (p.cols() != cols) panic("stackRows: column counts differ");
+        rows += p.rows();
+        nnz += p.nnz();
+    }
+    std::vector<Count> row_ptr;
+    std::vector<Index> col_id;
+    std::vector<Value> val;
+    row_ptr.reserve(static_cast<std::size_t>(rows) + 1);
+    col_id.reserve(static_cast<std::size_t>(nnz));
+    val.reserve(static_cast<std::size_t>(nnz));
+    row_ptr.push_back(0);
+    for (const CsrMatrix &p : parts) {
+        for (Index i = 0; i < p.rows(); ++i) {
+            const Count lo = p.rowPtr()[static_cast<std::size_t>(i)];
+            const Count hi = p.rowPtr()[static_cast<std::size_t>(i) + 1];
+            for (Count q = lo; q < hi; ++q) {
+                col_id.push_back(p.colId()[static_cast<std::size_t>(q)]);
+                val.push_back(p.val()[static_cast<std::size_t>(q)]);
+            }
+            row_ptr.push_back(static_cast<Count>(col_id.size()));
+        }
+    }
+    return CsrMatrix::fromParts(rows, cols, std::move(row_ptr),
+                                std::move(col_id), std::move(val));
+}
+
+ModelServiceModel::ModelServiceModel(const Dataset &ds,
+                                     const AccelConfig &cfg)
+    : ds_(ds), cfg_(cfg), model_(cfg)
+{
+    dsARowNnz_ = ds_.adjacency.rowNnz();
+    dsXRowNnz_.reserve(static_cast<std::size_t>(ds_.features.rows()));
+    for (Index i = 0; i < ds_.features.rows(); ++i)
+        dsXRowNnz_.push_back(ds_.features.rowNnz(i));
+}
+
+Cycle
+ModelServiceModel::batchCycles(const std::vector<Request> &batch)
+{
+    if (batch.empty()) panic("batchCycles: empty batch");
+    if (batch.front().scope == RequestScope::FullGraph)
+        return fullGraphCycles(batch.front().kind);
+
+    // Block-diagonal merge in profile space: the fused operand's row-nnz
+    // vector is the concatenation of the members' induced row-nnz.
+    std::vector<Count> a_row;
+    std::vector<Count> x_row;
+    for (const Request &r : batch) {
+        a_row.insert(a_row.end(), r.aRowNnz.begin(), r.aRowNnz.end());
+        x_row.insert(x_row.end(), r.xRowNnz.begin(), r.xRowNnz.end());
+    }
+    return profileCycles(batch.front().kind, a_row, x_row);
+}
+
+Cycle
+ModelServiceModel::profileCycles(WorkloadKind kind,
+                                 const std::vector<Count> &a_row,
+                                 const std::vector<Count> &x_row) const
+{
+    const Index n = static_cast<Index>(a_row.size());
+    const DatasetSpec &spec = ds_.spec;
+    const Index f1 = spec.f1, f2 = spec.f2, f3 = spec.f3;
+
+    if (kind == WorkloadKind::Gcn) {
+        // The paper's 2-layer GCN maps directly onto the profile-driven
+        // runGcn (chained-SPMM pipelining included).
+        WorkloadProfile profile;
+        profile.spec = spec;
+        profile.spec.nodes = n;
+        profile.scale = ds_.scale;
+        profile.aRowNnz = a_row;
+        profile.x1RowNnz = x_row;
+        profile.x2RowNnz.assign(static_cast<std::size_t>(n),
+                                uniformRowNnz(spec.densityX2, f2));
+        return model_.runGcn(profile).totalCycles;
+    }
+
+    // GraphSAGE / GIN: serial sum over the factories' costed stages
+    // (sim/factories.hpp). Dense operands charge one task per element
+    // row; the serving model does not credit inter-stage pipelining —
+    // the cycle fidelity covers that refinement.
+    auto spmm = [&](const std::vector<Count> &row_work, Index rounds,
+                    Index inner) {
+        RowPartition part = makePartitionPolicy(cfg_)->build(
+            static_cast<Index>(row_work.size()), row_work, cfg_);
+        return model_.runSpmm(row_work, rounds, part, inner).cycles;
+    };
+    const std::vector<Count> dense_row(static_cast<std::size_t>(n),
+                                       static_cast<Count>(f2));
+
+    // Shared input projection h0 = X x W_proj (f1 -> f2).
+    Cycle total = spmm(x_row, f2, f1);
+    if (kind == WorkloadKind::GraphSage) {
+        // Per layer: Am x h, then combine(h, Am h) x W.
+        total += spmm(a_row, f2, n) + spmm(dense_row, f2, f2);
+        total += spmm(a_row, f2, n) + spmm(dense_row, f3, f2);
+        return total;
+    }
+    // GIN: per layer A x h then the two-matrix MLP.
+    total += spmm(a_row, f2, n) + spmm(dense_row, f2, f2) +
+             spmm(dense_row, f2, f2);
+    total += spmm(a_row, f2, n) + spmm(dense_row, f2, f2) +
+             spmm(dense_row, f3, f2);
+    return total;
+}
+
+Cycle
+ModelServiceModel::fullGraphCycles(WorkloadKind kind)
+{
+    auto it = fullCache_.find(kind);
+    if (it != fullCache_.end()) return it->second;
+    const Cycle cycles = profileCycles(kind, dsARowNnz_, dsXRowNnz_);
+    fullCache_.emplace(kind, cycles);
+    return cycles;
+}
+
+CycleServiceModel::CycleServiceModel(const Dataset &ds,
+                                     const AccelConfig &cfg,
+                                     std::uint64_t seed)
+    : ds_(ds), cfg_(cfg), seed_(seed)
+{
+}
+
+Cycle
+CycleServiceModel::batchCycles(const std::vector<Request> &batch)
+{
+    if (batch.empty()) panic("batchCycles: empty batch");
+    if (batch.front().scope == RequestScope::FullGraph)
+        return fullGraphCycles(batch.front().kind);
+
+    // Materialize the fused multi-graph inference: block-diagonal
+    // adjacency over the members' induced subgraphs, their feature rows
+    // stacked in the same order.
+    std::vector<CscMatrix> adj;
+    std::vector<CsrMatrix> feat;
+    adj.reserve(batch.size());
+    feat.reserve(batch.size());
+    for (const Request &r : batch) {
+        adj.push_back(inducedSubgraph(ds_.adjacency, r.nodes));
+        feat.push_back(selectRows(ds_.features, r.nodes));
+    }
+    Dataset fused;
+    fused.spec = ds_.spec;
+    fused.scale = ds_.scale;
+    fused.adjacency = blockDiag(adj);
+    fused.features = stackRows(feat);
+    fused.spec.nodes = fused.adjacency.rows();
+    return datasetCycles(batch.front().kind, fused);
+}
+
+Cycle
+CycleServiceModel::datasetCycles(WorkloadKind kind, const Dataset &target)
+{
+    const DatasetSpec &spec = ds_.spec;
+    sim::WorkloadBundle bundle;
+    switch (kind) {
+      case WorkloadKind::Gcn:
+        bundle = sim::buildGcn(
+            target, makeGcnModel(spec.f1, spec.f2, spec.f3, seed_));
+        break;
+      case WorkloadKind::GraphSage:
+        bundle = sim::buildGraphSage(target, spec.f2, spec.f3,
+                                     /*meanAggregate=*/true, seed_);
+        break;
+      case WorkloadKind::Gin:
+        bundle = sim::buildGin(target, spec.f2, spec.f3, /*eps=*/0.0,
+                               seed_);
+        break;
+    }
+    // A fresh Session per batch keeps the cost a pure function of the
+    // batch (no tuned-map carry-over between unrelated operands).
+    sim::Session session(cfg_);
+    return sim::runWorkload(session, std::move(bundle)).totalCycles;
+}
+
+Cycle
+CycleServiceModel::fullGraphCycles(WorkloadKind kind)
+{
+    auto it = fullCache_.find(kind);
+    if (it != fullCache_.end()) return it->second;
+    const Cycle cycles = datasetCycles(kind, ds_);
+    fullCache_.emplace(kind, cycles);
+    return cycles;
+}
+
+} // namespace awb::serve

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Service-time oracles of the serving front end (DESIGN.md §10): given a
+ * dispatched batch, how many simulated cycles does one accelerator
+ * device spend executing it? Three fidelities implement the same
+ * interface:
+ *
+ *  - FixedServiceModel — an affine per-batch cost; the closed-form test
+ *    seam (hand-computable latencies for the determinism tests);
+ *  - ModelServiceModel — the round-level PerfModel over the batch's
+ *    merged row-work profile (full-rate serving experiments);
+ *  - CycleServiceModel — the cycle-accurate Session over materialized
+ *    merged subgraphs (small scaled datasets; validates the model).
+ *
+ * Batch semantics shared by the real fidelities: an *ego* batch fuses
+ * its members' induced subgraphs block-diagonally into one inference
+ * (disjoint local node sets — exactly the multi-graph batching the
+ * Session's per-operand row maps support); a *full-graph* batch runs
+ * the whole-dataset inference once and shares the result across its
+ * members, so its cost is independent of batch size. Every cost is a
+ * pure function of the batch — devices are stateless — which is what
+ * lets the event loop bind batches to devices in any order without
+ * changing timing.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "accel/config.hpp"
+#include "accel/perf_model.hpp"
+#include "gcn/model.hpp"
+#include "graph/datasets.hpp"
+#include "serve/request.hpp"
+
+namespace awb::serve {
+
+/** Cost oracle: cycles one device spends executing one batch. */
+class ServiceModel
+{
+  public:
+    virtual ~ServiceModel() = default;
+
+    /** `batch` is non-empty and shares one (kind, scope) class. */
+    virtual Cycle batchCycles(const std::vector<Request> &batch) = 0;
+};
+
+/** base + perRequest * |batch| cycles; the closed-form test seam. */
+class FixedServiceModel : public ServiceModel
+{
+  public:
+    FixedServiceModel(Cycle base, Cycle per_request)
+        : base_(base), perRequest_(per_request)
+    {
+    }
+
+    Cycle
+    batchCycles(const std::vector<Request> &batch) override
+    {
+        return base_ + perRequest_ * static_cast<Cycle>(batch.size());
+    }
+
+  private:
+    Cycle base_;
+    Cycle perRequest_;
+};
+
+/** Round-level PerfModel fidelity over merged request profiles. */
+class ModelServiceModel : public ServiceModel
+{
+  public:
+    /** `ds` must outlive the model. */
+    ModelServiceModel(const Dataset &ds, const AccelConfig &cfg);
+
+    Cycle batchCycles(const std::vector<Request> &batch) override;
+
+  private:
+    Cycle profileCycles(WorkloadKind kind, const std::vector<Count> &a_row,
+                        const std::vector<Count> &x_row) const;
+    Cycle fullGraphCycles(WorkloadKind kind);
+
+    const Dataset &ds_;
+    AccelConfig cfg_;
+    PerfModel model_;
+    std::vector<Count> dsARowNnz_;  ///< whole-dataset adjacency row-nnz
+    std::vector<Count> dsXRowNnz_;  ///< whole-dataset feature row-nnz
+    /** Result-sharing cache: full-graph cost per workload kind. */
+    std::map<WorkloadKind, Cycle> fullCache_;
+};
+
+/** Cycle-accurate Session fidelity over materialized merged subgraphs. */
+class CycleServiceModel : public ServiceModel
+{
+  public:
+    /** `ds` must outlive the model; `seed` fixes the synthetic weights. */
+    CycleServiceModel(const Dataset &ds, const AccelConfig &cfg,
+                      std::uint64_t seed);
+
+    Cycle batchCycles(const std::vector<Request> &batch) override;
+
+  private:
+    Cycle datasetCycles(WorkloadKind kind, const Dataset &target);
+    Cycle fullGraphCycles(WorkloadKind kind);
+
+    const Dataset &ds_;
+    AccelConfig cfg_;
+    std::uint64_t seed_;
+    std::map<WorkloadKind, Cycle> fullCache_;
+};
+
+/** Block-diagonal fusion of square CSC blocks (ego-batch adjacency). */
+CscMatrix blockDiag(const std::vector<CscMatrix> &blocks);
+
+/** Vertical stack of CSR matrices with identical column counts
+ *  (ego-batch feature rows). */
+CsrMatrix stackRows(const std::vector<CsrMatrix> &parts);
+
+} // namespace awb::serve

@@ -1,0 +1,104 @@
+#include "serve/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hpp"
+
+namespace awb::serve {
+
+Cycle
+percentile(std::vector<Cycle> sample, double p)
+{
+    if (sample.empty()) panic("percentile: empty sample");
+    if (p <= 0.0 || p > 100.0) panic("percentile: p out of (0, 100]");
+    std::sort(sample.begin(), sample.end());
+    // Nearest rank: the smallest value with at least p% of the sample
+    // at or below it (ceil(p/100 * n), 1-based).
+    const std::size_t rank = static_cast<std::size_t>(
+        std::ceil(p / 100.0 * static_cast<double>(sample.size())));
+    return sample[std::max<std::size_t>(rank, 1) - 1];
+}
+
+LatencySummary
+summarizeLatencies(const std::vector<Cycle> &sample)
+{
+    LatencySummary s;
+    if (sample.empty()) return s;
+    std::vector<Cycle> sorted = sample;
+    std::sort(sorted.begin(), sorted.end());
+    s.count = static_cast<Count>(sorted.size());
+    auto at = [&](double p) {
+        const std::size_t rank = static_cast<std::size_t>(
+            std::ceil(p / 100.0 * static_cast<double>(sorted.size())));
+        return sorted[std::max<std::size_t>(rank, 1) - 1];
+    };
+    s.p50 = at(50.0);
+    s.p95 = at(95.0);
+    s.p99 = at(99.0);
+    s.p999 = at(99.9);
+    s.min = sorted.front();
+    s.max = sorted.back();
+    double sum = 0.0;
+    for (Cycle c : sorted) sum += static_cast<double>(c);
+    s.mean = sum / static_cast<double>(sorted.size());
+    return s;
+}
+
+void
+DepthTrace::record(Cycle at, std::size_t depth)
+{
+    if (!samples_.empty()) {
+        if (at < samples_.back().at)
+            panic("DepthTrace::record: time went backwards");
+        // Coalesce same-cycle changes: only the final depth held.
+        if (at == samples_.back().at) {
+            samples_.back().depth = depth;
+            return;
+        }
+        if (depth == samples_.back().depth) return;
+    }
+    samples_.push_back({at, depth});
+}
+
+double
+DepthTrace::meanDepth(Cycle end) const
+{
+    if (samples_.empty()) return 0.0;
+    double weighted = 0.0;
+    for (std::size_t i = 0; i < samples_.size(); ++i) {
+        const Cycle until =
+            i + 1 < samples_.size() ? samples_[i + 1].at : end;
+        if (until <= samples_[i].at) continue;
+        weighted += static_cast<double>(samples_[i].depth) *
+                    static_cast<double>(until - samples_[i].at);
+    }
+    const Cycle span = end - samples_.front().at;
+    return span > 0 ? weighted / static_cast<double>(span) : 0.0;
+}
+
+std::vector<DepthSample>
+DepthTrace::bucketed(Cycle end, std::size_t buckets) const
+{
+    std::vector<DepthSample> out;
+    if (samples_.empty() || buckets == 0) return out;
+    if (samples_.size() <= buckets) return samples_;
+    const Cycle first = samples_.front().at;
+    const double width =
+        static_cast<double>(end - first) / static_cast<double>(buckets);
+    std::size_t last_bucket = static_cast<std::size_t>(-1);
+    for (const DepthSample &s : samples_) {
+        const std::size_t bucket =
+            width > 0.0 ? std::min(buckets - 1,
+                                   static_cast<std::size_t>(
+                                       static_cast<double>(s.at - first) /
+                                       width))
+                        : 0;
+        if (bucket == last_bucket) continue;
+        out.push_back(s);
+        last_bucket = bucket;
+    }
+    return out;
+}
+
+} // namespace awb::serve

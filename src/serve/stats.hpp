@@ -1,0 +1,70 @@
+/**
+ * @file
+ * SLO-percentile statistics of a serving run (DESIGN.md §10): tail
+ * latency summaries (nearest-rank percentiles — the convention SLO
+ * contracts use), time-weighted queue-depth traces, and per-device
+ * utilization. Everything is computed from exact cycle timestamps, so
+ * summaries are bit-reproducible across hosts and thread counts.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace awb::serve {
+
+/** Nearest-rank percentile of an unsorted sample (p in (0, 100]);
+ *  panic() on an empty sample. */
+Cycle percentile(std::vector<Cycle> sample, double p);
+
+/** Tail summary of one latency population. */
+struct LatencySummary
+{
+    Count count = 0;
+    Cycle p50 = 0;
+    Cycle p95 = 0;
+    Cycle p99 = 0;
+    Cycle p999 = 0;
+    Cycle min = 0;
+    Cycle max = 0;
+    double mean = 0.0;
+};
+
+/** Summarize a latency sample; all-zero summary when empty. */
+LatencySummary summarizeLatencies(const std::vector<Cycle> &sample);
+
+/** One step of the queue-depth trace: depth held from `at` until the
+ *  next sample's `at`. */
+struct DepthSample
+{
+    Cycle at = 0;
+    std::size_t depth = 0;
+};
+
+/**
+ * Time-weighted queue-depth accumulator. Record every depth change with
+ * its timestamp; the mean weights each depth by how long it was held.
+ */
+class DepthTrace
+{
+  public:
+    /** Record the depth from cycle `at` onward (at must not decrease). */
+    void record(Cycle at, std::size_t depth);
+
+    /** Time-weighted mean depth over [first record, end]. */
+    double meanDepth(Cycle end) const;
+
+    /** Down-sample to at most `buckets` steps for reporting (keeps the
+     *  first sample of each equal-width time bucket). */
+    std::vector<DepthSample> bucketed(Cycle end, std::size_t buckets) const;
+
+    const std::vector<DepthSample> &samples() const { return samples_; }
+
+  private:
+    std::vector<DepthSample> samples_;
+};
+
+} // namespace awb::serve

@@ -12,6 +12,8 @@
 
 #pragma once
 
+#include <algorithm>
+#include <cstddef>
 #include <deque>
 #include <limits>
 
@@ -39,11 +41,16 @@ class Fifo
         return capacity_ != 0 && q_.size() >= capacity_;
     }
 
-    /** Push; returns false (and drops nothing) when full. */
+    /** Push; returns false (and drops nothing) when full. Rejected
+     *  pushes are counted — serving queues report them as admission
+     *  drops (serve/queue.hpp). */
     bool
     push(T item)
     {
-        if (full()) return false;
+        if (full()) {
+            ++rejected_;
+            return false;
+        }
         q_.push_back(std::move(item));
         peak_ = std::max(peak_, q_.size());
         ++pushes_;
@@ -66,15 +73,36 @@ class Fifo
         return item;
     }
 
-    /** Indexed peek (0 == front); used by multi-queue arbiters. */
+    /** Indexed peek (0 == front); used by multi-queue arbiters and the
+     *  serving batch disciplines. panic() on out-of-range instead of
+     *  throwing std::out_of_range through simulator frames. */
     const T &
     at(std::size_t i) const
     {
-        return q_.at(i);
+        if (i >= q_.size()) panic("Fifo::at index out of range");
+        return q_[i];
     }
+
+    /** Remove the element at index i (0 == front), preserving the order
+     *  of the rest. Non-front removal is what batch disciplines that
+     *  cherry-pick from the middle (sjf-nnz, per-kind batching) need.
+     *  panic() on out-of-range. */
+    T
+    erase(std::size_t i)
+    {
+        if (i >= q_.size()) panic("Fifo::erase index out of range");
+        T item = std::move(q_[i]);
+        q_.erase(q_.begin() + static_cast<std::ptrdiff_t>(i));
+        return item;
+    }
+
+    /** Drop all queued elements; statistics are kept (use clearStats). */
+    void clear() { q_.clear(); }
 
     std::size_t peakOccupancy() const { return peak_; }
     Count totalPushes() const { return pushes_; }
+    /** Pushes rejected because the queue was full. */
+    Count rejectedPushes() const { return rejected_; }
     std::size_t capacity() const { return capacity_; }
 
     void
@@ -82,6 +110,7 @@ class Fifo
     {
         peak_ = q_.size();
         pushes_ = 0;
+        rejected_ = 0;
     }
 
   private:
@@ -89,6 +118,7 @@ class Fifo
     std::deque<T> q_;
     std::size_t peak_ = 0;
     Count pushes_ = 0;
+    Count rejected_ = 0;
 };
 
 } // namespace awb

@@ -337,6 +337,40 @@ TEST(SweepGridDeath, UnknownPlatformIsFatal)
                 "unknown platform");
 }
 
+TEST(Sweep, ShardedWorkloadGraphModeNamesTheUnsupportedCombination)
+{
+    // The workload-graph modes run unsharded only; asking for chips > 1
+    // must produce an error row that names the exact mode × chips pair
+    // and the modes that DO support sharding.
+    SweepOptions opts = smallGrid();
+    for (SweepMode mode :
+         {SweepMode::GraphSage, SweepMode::Gin, SweepMode::KhopGcn}) {
+        SweepPoint p;
+        p.dataset = "cora";
+        p.policy = "baseline";
+        p.pes = 32;
+        p.chips = 2;
+        p.mode = mode;
+        SweepOutcome out = runSweepPoint(p, opts);
+        EXPECT_FALSE(out.ok);
+        EXPECT_NE(out.error.find("mode '" + sweepModeName(mode) +
+                                 "' with chips=2 is unsupported"),
+                  std::string::npos)
+            << out.error;
+        EXPECT_NE(out.error.find("run unsharded only"), std::string::npos);
+        EXPECT_NE(out.error.find("model|cycle|tdq1|tdq2"),
+                  std::string::npos);
+    }
+    // The same point with one chip is a supported combination.
+    SweepPoint ok_point;
+    ok_point.dataset = "cora";
+    ok_point.policy = "baseline";
+    ok_point.pes = 32;
+    ok_point.chips = 1;
+    ok_point.mode = SweepMode::GraphSage;
+    EXPECT_TRUE(runSweepPoint(ok_point, opts).ok);
+}
+
 TEST(Sweep, JsonSchemaCarriesMemoryModelKeys)
 {
     SweepOptions opts = smallGrid();

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Hardened-Fifo tests (serving satellite of DESIGN.md §10): capacity-1
+ * behaviour, wrap-around cycling under a bounded capacity, full/empty
+ * transition edges, rejected-push accounting, indexed erase semantics,
+ * clear vs clearStats, and the panic() guards on out-of-range access.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/fifo.hpp"
+
+using namespace awb;
+
+TEST(Fifo, UnboundedNeverFillsAndTracksPeak)
+{
+    Fifo<int> f;
+    EXPECT_EQ(f.capacity(), 0u);
+    for (int i = 0; i < 100; ++i) EXPECT_TRUE(f.push(i));
+    EXPECT_FALSE(f.full());
+    EXPECT_EQ(f.size(), 100u);
+    EXPECT_EQ(f.peakOccupancy(), 100u);
+    EXPECT_EQ(f.totalPushes(), 100);
+    EXPECT_EQ(f.rejectedPushes(), 0);
+}
+
+TEST(Fifo, CapacityOneAlternatesFullAndEmpty)
+{
+    Fifo<int> f(1);
+    EXPECT_TRUE(f.empty());
+    EXPECT_FALSE(f.full());
+
+    EXPECT_TRUE(f.push(7));
+    EXPECT_TRUE(f.full());
+    EXPECT_FALSE(f.empty());
+
+    // A push into the single full slot is rejected and counted; the
+    // resident element is untouched.
+    EXPECT_FALSE(f.push(8));
+    EXPECT_EQ(f.rejectedPushes(), 1);
+    EXPECT_EQ(f.front(), 7);
+    EXPECT_EQ(f.size(), 1u);
+
+    EXPECT_EQ(f.pop(), 7);
+    EXPECT_TRUE(f.empty());
+    EXPECT_FALSE(f.full());
+
+    // After draining, the slot is usable again.
+    EXPECT_TRUE(f.push(9));
+    EXPECT_EQ(f.pop(), 9);
+    EXPECT_EQ(f.totalPushes(), 2);
+    EXPECT_EQ(f.rejectedPushes(), 1);
+    EXPECT_EQ(f.peakOccupancy(), 1u);
+}
+
+TEST(Fifo, WrapAroundCyclingPreservesOrderAtCapacity)
+{
+    // Push/pop far past capacity so the underlying storage wraps many
+    // times; FIFO order and statistics must survive every transition.
+    Fifo<int> f(3);
+    int next_in = 0;
+    int next_out = 0;
+    for (int i = 0; i < 3; ++i) EXPECT_TRUE(f.push(next_in++));
+    EXPECT_TRUE(f.full());
+
+    for (int round = 0; round < 50; ++round) {
+        EXPECT_FALSE(f.push(999));  // full edge: rejected every round
+        EXPECT_EQ(f.pop(), next_out++);
+        EXPECT_FALSE(f.full());
+        EXPECT_TRUE(f.push(next_in++));
+        EXPECT_TRUE(f.full());
+    }
+    // Drain: the survivors come out in exact insertion order.
+    while (!f.empty()) EXPECT_EQ(f.pop(), next_out++);
+    EXPECT_EQ(next_out, next_in);
+    EXPECT_EQ(f.totalPushes(), 53);
+    EXPECT_EQ(f.rejectedPushes(), 50);
+    EXPECT_EQ(f.peakOccupancy(), 3u);
+}
+
+TEST(Fifo, FullEmptyTransitionsAreExact)
+{
+    Fifo<int> f(2);
+    EXPECT_TRUE(f.empty());
+    f.push(1);
+    EXPECT_FALSE(f.empty());
+    EXPECT_FALSE(f.full());  // between the edges
+    f.push(2);
+    EXPECT_TRUE(f.full());
+    f.pop();
+    EXPECT_FALSE(f.full());
+    f.pop();
+    EXPECT_TRUE(f.empty());
+}
+
+TEST(Fifo, IndexedAtAndEraseKeepOrder)
+{
+    Fifo<int> f;
+    for (int i = 10; i < 15; ++i) f.push(i);  // 10 11 12 13 14
+    EXPECT_EQ(f.at(0), 10);
+    EXPECT_EQ(f.at(4), 14);
+
+    EXPECT_EQ(f.erase(2), 12);  // cherry-pick the middle
+    EXPECT_EQ(f.size(), 4u);
+    EXPECT_EQ(f.at(2), 13);  // the rest closed ranks in order
+
+    EXPECT_EQ(f.erase(0), 10);  // front erase == pop
+    EXPECT_EQ(f.front(), 11);
+
+    EXPECT_EQ(f.erase(f.size() - 1), 14);  // back erase
+    EXPECT_EQ(f.pop(), 11);
+    EXPECT_EQ(f.pop(), 13);
+    EXPECT_TRUE(f.empty());
+}
+
+TEST(Fifo, ClearDropsElementsButKeepsStats)
+{
+    Fifo<int> f(4);
+    for (int i = 0; i < 4; ++i) f.push(i);
+    f.push(99);  // rejected
+    f.clear();
+    EXPECT_TRUE(f.empty());
+    EXPECT_EQ(f.peakOccupancy(), 4u);
+    EXPECT_EQ(f.totalPushes(), 4);
+    EXPECT_EQ(f.rejectedPushes(), 1);
+
+    f.clearStats();
+    EXPECT_EQ(f.peakOccupancy(), 0u);
+    EXPECT_EQ(f.totalPushes(), 0);
+    EXPECT_EQ(f.rejectedPushes(), 0);
+}
+
+TEST(FifoDeath, EmptyAndOutOfRangeAccessPanics)
+{
+    Fifo<int> f;
+    EXPECT_DEATH(f.front(), "Fifo::front on empty queue");
+    EXPECT_DEATH(f.pop(), "Fifo::pop on empty queue");
+    EXPECT_DEATH(f.at(0), "Fifo::at index out of range");
+    EXPECT_DEATH(f.erase(0), "Fifo::erase index out of range");
+    f.push(1);
+    EXPECT_DEATH(f.at(1), "Fifo::at index out of range");
+    EXPECT_DEATH(f.erase(1), "Fifo::erase index out of range");
+}

@@ -86,6 +86,14 @@ TEST(PlatformRegistryDeath, UnknownPlatformIsFatal)
                 "unknown platform");
 }
 
+TEST(PlatformRegistryDeath, UnknownPlatformSuggestsNearMiss)
+{
+    EXPECT_EXIT(findPlatform("d5005-ddr5"), ::testing::ExitedWithCode(1),
+                "did you mean 'd5005-ddr4'");
+    EXPECT_EXIT(findPlatform("p100-hbm"), ::testing::ExitedWithCode(1),
+                "did you mean 'p100-hbm2'");
+}
+
 TEST(PlatformRegistry, ConfigValidateRejectsUnknownPlatform)
 {
     AccelConfig cfg;
