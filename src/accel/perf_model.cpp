@@ -7,6 +7,7 @@
 #include "accel/gcn_accel.hpp"
 #include "accel/policy.hpp"
 #include "common/log.hpp"
+#include "kernels/spgemm.hpp"
 
 namespace awb {
 
@@ -173,6 +174,126 @@ PerfModel::runSpmm(const std::vector<Count> &row_work, Index rounds,
             rebalance->observeAndAdjust(obs, row_work, partition);
             pending_migration_bytes = mem.migrationBytes(
                 owners_before, partition.owners(), row_work);
+        }
+    }
+
+    res.peakQueueDepth = std::max<std::size_t>(
+        res.peakQueueDepth,
+        static_cast<std::size_t>(cfg_.numQueuesPerPe));
+    res.syncCycles = std::max<Cycle>(0, res.cycles - res.idealCycles);
+    res.utilization = res.cycles > 0
+        ? static_cast<double>(res.tasks) /
+          (static_cast<double>(P) * static_cast<double>(res.cycles))
+        : 0.0;
+    res.rowsSwitched = rebalance->totalRowsMoved();
+    res.convergedRound = rebalance->convergedRound();
+    return res;
+}
+
+PerfSpmmResult
+PerfModel::runSpgemm(const CscMatrix &a, const CscMatrix &b,
+                     RowPartition &partition) const
+{
+    if (a.cols() != b.rows())
+        fatal("PerfModel::runSpgemm: inner dimensions differ");
+    if (partition.rows() != a.rows())
+        fatal("PerfModel::runSpgemm: partition rows != operand rows");
+
+    const int P = cfg_.numPes;
+    const Index K = b.cols();
+    PerfSpmmResult res;
+    res.rounds = K;
+    res.roundCycles.reserve(static_cast<std::size_t>(K));
+
+    std::unique_ptr<RebalancePolicy> rebalance =
+        makeRebalancePolicy(cfg_, partition.rows());
+    res.perPeTasks.assign(static_cast<std::size_t>(P), 0);
+    const Cycle overhead = cfg_.macLatency + log2i(P) + 2;
+
+    const MemoryModel mem(findPlatform(cfg_.platform),
+                          policyClockMhz(cfg_));
+    // Migration billing moves whole rows of A between banks, the same
+    // quantity the cycle engine bills (not the round-masked work).
+    const std::vector<Count> row_work = a.rowNnz();
+    const std::vector<Count> out_nnz = kernels::spgemmColumnNnz(a, b);
+    Count pending_migration_bytes = 0;
+
+    std::vector<Count> row_work_k(static_cast<std::size_t>(a.rows()));
+    std::vector<Count> served;
+    for (Index k = 0; k < K; ++k) {
+        // Round-k per-row work: B column k's non-zeros each expand the
+        // matching A column, so only rows reachable through those
+        // columns carry tasks this round.
+        std::fill(row_work_k.begin(), row_work_k.end(), Count(0));
+        const Count b_begin = b.colPtr()[static_cast<std::size_t>(k)];
+        const Count b_end = b.colPtr()[static_cast<std::size_t>(k) + 1];
+        for (Count p = b_begin; p < b_end; ++p) {
+            const Index j = b.rowId()[static_cast<std::size_t>(p)];
+            for (Count q = a.colPtr()[static_cast<std::size_t>(j)];
+                 q < a.colPtr()[static_cast<std::size_t>(j) + 1]; ++q) {
+                ++row_work_k[static_cast<std::size_t>(
+                    a.rowId()[static_cast<std::size_t>(q)])];
+            }
+        }
+
+        std::vector<Count> pe_work = partition.workload(row_work_k);
+        Count total = std::accumulate(pe_work.begin(), pe_work.end(),
+                                      Count(0));
+        Cycle no_share =
+            *std::max_element(pe_work.begin(), pe_work.end());
+        Cycle drain = balancedDrain(pe_work, cfg_.sharingHops, &served);
+        if (cfg_.sharingHops > 0) {
+            drain = std::min(no_share,
+                             static_cast<Cycle>(static_cast<double>(drain) *
+                                                kSharingInefficiency));
+        }
+        Cycle inject = (total + P - 1) / P;
+        Cycle round_cycles = std::max(drain, inject) + overhead;
+
+        MemoryTraffic round_traffic = mem.spgemmRoundTraffic(
+            total, b_end - b_begin,
+            out_nnz[static_cast<std::size_t>(k)]);
+        round_traffic.migrationBytes = pending_migration_bytes;
+        pending_migration_bytes = 0;
+        res.traffic += round_traffic;
+        const Cycle bw_floor = mem.floorCycles(round_traffic.total());
+        res.memoryCycles += bw_floor;
+        if (bw_floor > round_cycles) {
+            ++res.bwBoundRounds;
+            round_cycles = bw_floor;
+        }
+
+        res.roundCycles.push_back(round_cycles);
+        res.cycles += round_cycles;
+        res.tasks += total;
+        res.idealCycles += inject;
+
+        for (int p = 0; p < P; ++p) {
+            res.perPeTasks[static_cast<std::size_t>(p)] +=
+                served[static_cast<std::size_t>(p)];
+            Count backlog = served[static_cast<std::size_t>(p)] - inject;
+            if (backlog > 0) {
+                res.peakQueueDepth = std::max(
+                    res.peakQueueDepth, static_cast<std::size_t>(backlog));
+            }
+        }
+
+        // Observe after every round, the last included, mirroring
+        // SpmmEngine::executeSpgemm (frontier kernels chain 1-round
+        // SpGEMMs over a carried partition).
+        if (rebalance->wantsObservations()) {
+            RoundObservation obs;
+            obs.peWork = std::move(pe_work);
+            obs.drainCycle.assign(served.begin(), served.end());
+            std::vector<int> owners_before = partition.owners();
+            rebalance->observeAndAdjust(obs, row_work, partition);
+            const Count mig = mem.migrationBytes(
+                owners_before, partition.owners(), row_work);
+            if (k + 1 < K) {
+                pending_migration_bytes = mig;
+            } else {
+                res.traffic.migrationBytes += mig;
+            }
         }
     }
 

@@ -25,6 +25,7 @@
 #include "accel/row_map.hpp"
 #include "graph/datasets.hpp"
 #include "model/memory_model.hpp"
+#include "sparse/csc.hpp"
 
 namespace awb {
 
@@ -87,6 +88,22 @@ class PerfModel
     PerfSpmmResult runSpmm(const std::vector<Count> &row_work, Index rounds,
                            RowPartition &partition,
                            Index inner_dim = 0) const;
+
+    /**
+     * Model one sparse-output SpGEMM C = a × b (DESIGN.md §11). Rounds
+     * are B's sparse columns; round k's per-PE work is the per-row task
+     * count of the A columns that B column k references (the work
+     * distribution shifts every round — unlike runSpmm's fixed row_work).
+     * Shares the cycle engine's traffic accounting
+     * (MemoryModel::spgemmRoundTraffic, output fill from
+     * kernels::spgemmColumnNnz) and its observe-after-every-round
+     * rebalance schedule, so accumulated traffic bytes are byte-equal to
+     * SpmmEngine::executeSpgemm under static (non-rebalancing) policies;
+     * dynamic policies see fidelity-specific observations and may
+     * diverge, as across fidelities everywhere else.
+     */
+    PerfSpmmResult runSpgemm(const CscMatrix &a, const CscMatrix &b,
+                             RowPartition &partition) const;
 
     /**
      * Model a full 2-layer GCN inference from a workload profile

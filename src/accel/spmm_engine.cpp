@@ -10,6 +10,7 @@
 #include "accel/pe.hpp"
 #include "accel/policy.hpp"
 #include "common/log.hpp"
+#include "kernels/spgemm.hpp"
 
 #include <cstdio>
 #include <cstdlib>
@@ -492,6 +493,263 @@ SpmmEngine::execute(const CscMatrix &a, const DenseMatrix &b, TdqKind kind,
     // round repeats the dynamics of the simulated round that produced
     // its cache entry, so it cannot raise any peak the simulated rounds
     // have not already raised.
+    for (const auto &pe : pes) {
+        stats.peakQueueDepth =
+            std::max(stats.peakQueueDepth, pe.peakQueueDepth());
+    }
+    if (use_net) stats.peakNetworkDepth = net.peakBufferDepth();
+    return {std::move(c), std::move(stats)};
+}
+
+SpgemmResult
+SpmmEngine::executeSpgemm(const CscMatrix &a, const CscMatrix &b,
+                          RowPartition &partition)
+{
+    if (a.cols() != b.rows())
+        panic("SpmmEngine: spgemm inner dimensions differ");
+    if (partition.rows() != a.rows())
+        panic("SpmmEngine: partition rows != operand rows");
+    {
+        std::string err = cfg_.validate(/*cycle_accurate_tdq2=*/true);
+        if (!err.empty()) fatal("SpmmEngine: " + err);
+    }
+
+    const int P = cfg_.numPes;
+    const Index m = a.rows();
+    const Index K = b.cols();
+
+    // Functional result from the golden kernel — the event schedule only
+    // prices the work, so values are engine-invariant by construction.
+    CscMatrix c = kernels::spgemm(a, b);
+    const std::vector<Count> row_work = a.rowNnz();
+
+    std::vector<Pe> pes;
+    pes.reserve(static_cast<std::size_t>(P));
+    for (int p = 0; p < P; ++p)
+        pes.emplace_back(p, cfg_.numQueuesPerPe, cfg_.queueDepth,
+                         cfg_.macLatency);
+
+    LocalSharer sharer(cfg_.sharingHops);
+    std::unique_ptr<RebalancePolicy> rebalance =
+        makeRebalancePolicy(cfg_, m);
+    const MemoryModel mem(findPlatform(cfg_.platform),
+                          policyClockMhz(cfg_));
+    Count pending_migration_bytes = 0;
+    const bool use_net = P >= 2;
+    OmegaNetwork net(std::max(P, 2), cfg_.omegaBufferDepth,
+                     cfg_.networkSpeedup);
+    const int inject_width = cfg_.injectWidth > 0 ? cfg_.injectWidth : P;
+    const int accept_cap = cfg_.receivePorts;
+
+    // Per-round scratch. `acc` sinks the PE MACs (the schedule needs a
+    // target); the committed values come from the kernel result above.
+    std::vector<Value> acc(static_cast<std::size_t>(m), Value(0));
+    std::vector<int> accepted(static_cast<std::size_t>(P), 0);
+    std::vector<Count> home_tasks(static_cast<std::size_t>(P), 0);
+    std::vector<Index> r_row;
+    std::vector<Value> r_aval;
+    std::vector<Value> r_bval;
+
+    SpmmStats stats;
+    stats.rounds = K;
+    stats.perPeTasks.assign(static_cast<std::size_t>(P), 0);
+    Cycle now = 0;
+
+    for (Index k = 0; k < K; ++k) {
+        // Round-k task stream: B column k's non-zeros in ascending inner
+        // index j, each expanding A column j — the sparse B-column fetch
+        // that replaces execute()'s dense-column stream.
+        r_row.clear();
+        r_aval.clear();
+        r_bval.clear();
+        const Count b_begin = b.colPtr()[static_cast<std::size_t>(k)];
+        const Count b_end = b.colPtr()[static_cast<std::size_t>(k) + 1];
+        for (Count p = b_begin; p < b_end; ++p) {
+            const Index j = b.rowId()[static_cast<std::size_t>(p)];
+            const Value bv = b.val()[static_cast<std::size_t>(p)];
+            for (Count q = a.colPtr()[static_cast<std::size_t>(j)];
+                 q < a.colPtr()[static_cast<std::size_t>(j) + 1]; ++q) {
+                r_row.push_back(a.rowId()[static_cast<std::size_t>(q)]);
+                r_aval.push_back(a.val()[static_cast<std::size_t>(q)]);
+                r_bval.push_back(bv);
+            }
+        }
+        const std::size_t n_flits = r_row.size();
+
+        // Event-step the round: the same TDQ-2 per-cycle dynamics as
+        // execute()'s simulateRound. Both engines step every round —
+        // the task stream changes with k, so there is no recurring
+        // entry state the batched engine could replay.
+        std::fill(acc.begin(), acc.end(), Value(0));
+        std::fill(home_tasks.begin(), home_tasks.end(), 0);
+        for (auto &pe : pes) pe.resetRound();
+        if (use_net) net.setArbitration(static_cast<int>(now & 1));
+        const Count raw_before = rawStallsOf(pes);
+        const Cycle round_start = now;
+        std::size_t next = 0;
+        std::vector<std::size_t> port_next(static_cast<std::size_t>(P));
+        std::size_t lanes_done = 0;
+        for (int p = 0; p < P; ++p) {
+            port_next[static_cast<std::size_t>(p)] =
+                static_cast<std::size_t>(p);
+            if (static_cast<std::size_t>(p) >= n_flits) ++lanes_done;
+        }
+
+        auto deliver = [&](std::size_t f) -> bool {
+            int home = partition.owner(r_row[f]);
+            int target;
+            if (sharer.hops() > 0) {
+                target = sharer.choose(home, pes, &accepted, accept_cap);
+            } else {
+                target =
+                    (accepted[static_cast<std::size_t>(home)] < accept_cap &&
+                     pes[static_cast<std::size_t>(home)].canAccept())
+                        ? home : -1;
+            }
+            if (target < 0) return false;
+            Task t{r_row[f], r_aval[f], r_bval[f], home};
+            if (!pes[static_cast<std::size_t>(target)].enqueue(t))
+                return false;
+            ++accepted[static_cast<std::size_t>(target)];
+            ++home_tasks[static_cast<std::size_t>(home)];
+            return true;
+        };
+
+        while (true) {
+            for (auto &pe : pes) pe.tick(now, acc);
+
+            std::fill(accepted.begin(), accepted.end(), 0);
+
+            if (use_net) {
+                net.tick(now, [&](const Flit &flit, int out_port) {
+                    if (out_port != flit.destPe)
+                        panic("Omega routing invariant violated");
+                    int home = flit.destPe;
+                    int target;
+                    if (sharer.hops() > 0) {
+                        target = sharer.choose(home, pes, &accepted,
+                                               accept_cap);
+                    } else {
+                        target = accepted[static_cast<std::size_t>(home)] <
+                                 accept_cap ? home : -1;
+                    }
+                    if (target < 0) return false;
+                    if (!pes[static_cast<std::size_t>(target)]
+                             .enqueue(flit.task))
+                        return false;
+                    ++accepted[static_cast<std::size_t>(target)];
+                    ++home_tasks[static_cast<std::size_t>(home)];
+                    return true;
+                });
+                int injected = 0;
+                for (int p = 0; p < P && injected < inject_width; ++p) {
+                    std::size_t &cursor =
+                        port_next[static_cast<std::size_t>(p)];
+                    if (cursor >= n_flits) continue;
+                    int home = partition.owner(r_row[cursor]);
+                    Flit flit{Task{r_row[cursor], r_aval[cursor],
+                                   r_bval[cursor], home},
+                              home};
+                    if (!net.inject(flit, p)) continue;
+                    cursor += static_cast<std::size_t>(P);
+                    ++injected;
+                    if (cursor >= n_flits) ++lanes_done;
+                }
+            } else {
+                int injected = 0;
+                while (next < n_flits && injected < inject_width) {
+                    if (!deliver(next)) break;
+                    ++next;
+                    ++injected;
+                }
+            }
+
+            ++now;
+            if (now - round_start > cfg_.maxCyclesPerRound)
+                panic("SpmmEngine: round watchdog expired");
+
+            bool stream_done = use_net
+                ? (lanes_done == static_cast<std::size_t>(P))
+                : (next >= n_flits);
+            if (!stream_done) continue;
+            if (use_net && !net.empty()) continue;
+            bool done = true;
+            for (const auto &pe : pes) {
+                if (!pe.drained(now)) {
+                    done = false;
+                    break;
+                }
+            }
+            if (done) break;
+        }
+        ++stats.roundsSimulated;
+
+        // Traffic accounting and roofline composition (DESIGN.md §11):
+        // the A-task stream, the fetched B column, and the written
+        // sparse C column (values + row ids), plus any migration bytes
+        // billed from the previous round's rebalance.
+        const Count out_nnz =
+            c.colPtr()[static_cast<std::size_t>(k) + 1] -
+            c.colPtr()[static_cast<std::size_t>(k)];
+        MemoryTraffic round_traffic = mem.spgemmRoundTraffic(
+            static_cast<Count>(n_flits), b_end - b_begin, out_nnz);
+        round_traffic.migrationBytes = pending_migration_bytes;
+        pending_migration_bytes = 0;
+        stats.traffic += round_traffic;
+        Cycle round_duration = now - round_start;
+        const Cycle bw_floor = mem.floorCycles(round_traffic.total());
+        stats.memoryCycles += bw_floor;
+        if (bw_floor > round_duration) {
+            ++stats.bwBoundRounds;
+            now += bw_floor - round_duration;
+            round_duration = bw_floor;
+        }
+
+        stats.roundCycles.push_back(round_duration);
+        Count round_tasks = 0;
+        RoundObservation obs;
+        obs.peWork = home_tasks;
+        obs.drainCycle.resize(static_cast<std::size_t>(P));
+        for (int p = 0; p < P; ++p) {
+            const Pe &pe = pes[static_cast<std::size_t>(p)];
+            Count t = pe.tasksThisRound();
+            round_tasks += t;
+            stats.perPeTasks[static_cast<std::size_t>(p)] += t;
+            Cycle last = pe.lastBusyCycle();
+            obs.drainCycle[static_cast<std::size_t>(p)] =
+                (t > 0 && last >= round_start) ? last - round_start : 0;
+        }
+        stats.tasks += round_tasks;
+        stats.idealCycles += (round_tasks + P - 1) / P;
+        stats.rawStalls += rawStallsOf(pes) - raw_before;
+
+        // Observe after every round, the last included: frontier kernels
+        // chain 1-round SpGEMMs over a carried partition, so this is the
+        // only observation those rounds would ever produce.
+        std::vector<int> owners_before;
+        if (rebalance->wantsObservations())
+            owners_before = partition.owners();
+        rebalance->observeAndAdjust(obs, row_work, partition);
+        if (!owners_before.empty()) {
+            const Count mig = mem.migrationBytes(
+                owners_before, partition.owners(), row_work);
+            if (k + 1 < K) {
+                pending_migration_bytes = mig;
+            } else {
+                // No next round to bill the floor to; account the bytes.
+                stats.traffic.migrationBytes += mig;
+            }
+        }
+    }
+
+    stats.cycles = now;
+    stats.syncCycles = std::max<Cycle>(0, stats.cycles - stats.idealCycles);
+    stats.utilization = stats.cycles > 0
+        ? static_cast<double>(stats.tasks) /
+          (static_cast<double>(P) * static_cast<double>(stats.cycles))
+        : 0.0;
+    stats.rowsSwitched = rebalance->totalRowsMoved();
+    stats.convergedRound = rebalance->convergedRound();
     for (const auto &pe : pes) {
         stats.peakQueueDepth =
             std::max(stats.peakQueueDepth, pe.peakQueueDepth());

@@ -92,6 +92,13 @@ struct SpmmResult
     SpmmStats stats;  ///< cycle-level results
 };
 
+/** Value-semantics result of one sparse-output SpGEMM execution. */
+struct SpgemmResult
+{
+    CscMatrix c;      ///< the sparse result matrix (functionally exact)
+    SpmmStats stats;  ///< cycle-level results
+};
+
 /**
  * The SPMM engine. One instance may execute several SPMMs; each
  * execution's partition argument carries tuned row maps across
@@ -116,6 +123,31 @@ class SpmmEngine
      */
     SpmmResult execute(const CscMatrix &a, const DenseMatrix &b,
                        TdqKind kind, RowPartition &partition);
+
+    /**
+     * Execute the sparse-output SpGEMM C = a × b cycle-accurately
+     * (DESIGN.md §11). Rounds are B's sparse columns streamed through
+     * the TDQ-2/Omega path; each round's task stream expands B column
+     * k's non-zeros (ascending inner index) against the matching A
+     * columns, so per-round task counts track the *output* work, not a
+     * fixed non-zero stream. Values are materialized by the functional
+     * kernel (kernels::spgemm) — bit-identical across engines — while
+     * the event schedule prices the work. Differences from execute():
+     * every round is event-stepped (roundsSimulated == rounds under
+     * both engines: the task stream changes per round, so there is no
+     * recurring entry state to replay), and the rebalance policy
+     * observes after *every* round including the last (frontier kernels
+     * chain 1-round SpGEMMs over a carried partition, so the last
+     * round's observation is the only one they would ever get);
+     * migration ordered after the final round bills its bytes to
+     * `stats.traffic.migrationBytes` without a bandwidth floor.
+     *
+     * @param a          sparse left operand in CSC
+     * @param b          sparse right operand in CSC (rows == a.cols())
+     * @param partition  row map; mutated by the rebalance policy
+     */
+    SpgemmResult executeSpgemm(const CscMatrix &a, const CscMatrix &b,
+                               RowPartition &partition);
 
   private:
     AccelConfig cfg_;

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Graph-kernel benchmark (`awbsim --bench-spgemm`): runs BFS and
+ * PageRank as iterated sparse-output SpGEMMs (DESIGN.md §11) on one
+ * dataset, once per balance policy, and records per-iteration
+ * frontier-size and cycle curves plus a rebalance helps/hurts verdict
+ * against the static baseline. Four gates ride on the exit code:
+ * determinism (two event-engine runs must produce identical cycles and
+ * tasks), engine equivalence (batched == event statistics), functional
+ * correctness (BFS parent/depth arrays bit-equal the scalar reference;
+ * PageRank scores within 1e-6 L1 and converged), and model-traffic
+ * equality (PerfModel::runSpgemm traffic byte-equal to the engine for
+ * the static baseline). Emits the `awbsim-bench-spgemm-v1` JSON
+ * document (BENCH_spgemm.json), tracked in-repo and diffed by
+ * tools/check_bench.py in CI. Implemented in bench/bench_spgemm.cpp
+ * (compiled into awbsim).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace awb::driver {
+
+/** Grid axes and knobs of one graph-kernel benchmark run. */
+struct BenchSpgemmOptions
+{
+    std::string dataset = "cora";
+    /** Balance-policy axis; "baseline" is prepended when absent (the
+     *  helps/hurts verdict needs its cycle count). */
+    std::vector<std::string> policies = {"baseline", "local-b", "remote-c",
+                                         "remote-d", "work-steal"};
+    int pes = 64;             ///< PE-array size (power of two for Omega)
+    Index source = 0;         ///< BFS source vertex
+    double damping = 0.85;    ///< PageRank damping factor
+    double tol = 1e-6;        ///< PageRank L1 convergence threshold
+    Count maxIters = 200;     ///< PageRank iteration cap
+    std::uint64_t seed = 1;
+    double scale = 1.0;
+    std::string platform = "unconstrained";
+    std::string jsonPath = "BENCH_spgemm.json";
+};
+
+/**
+ * Run both kernels across the policy axis, print a verdict table, write
+ * the JSON document. Returns 0 on success, 1 when any gate failed
+ * (non-deterministic, engine mismatch, functional mismatch, or
+ * model-traffic mismatch) — the gate CI relies on.
+ */
+int runBenchSpgemm(const BenchSpgemmOptions &opts);
+
+/** CLI front-end for `awbsim --bench-spgemm`; returns the exit code. */
+int runBenchSpgemmCli(int argc, char **argv, int first);
+
+} // namespace awb::driver

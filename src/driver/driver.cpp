@@ -11,6 +11,7 @@
 #include "driver/bench_memory.hpp"
 #include "driver/bench_scaleout.hpp"
 #include "driver/bench_serving.hpp"
+#include "driver/bench_spgemm.hpp"
 #include "driver/scenario.hpp"
 #include "driver/serve_cli.hpp"
 #include "driver/sweep.hpp"
@@ -60,8 +61,10 @@ printUsage()
         "                          chip, the unsharded engine; DESIGN.md\n"
         "                          §9; model/cycle/tdq1/tdq2 modes)\n"
         "      --modes m1,m2,..    of model|cycle|tdq1|tdq2|graphsage|gin|\n"
-        "                          khop (default model; graphsage/gin/khop\n"
-        "                          run workload graphs on the Session API)\n"
+        "                          khop|bfs|pagerank (default model;\n"
+        "                          graphsage/gin/khop run workload graphs\n"
+        "                          on the Session API; bfs/pagerank run\n"
+        "                          frontier SpGEMM kernels, DESIGN.md §11)\n"
         "      --engine E          cycle-engine implementation for the\n"
         "                          cycle-accurate modes: event (default,\n"
         "                          per-non-zero stepping) or batched\n"
@@ -119,6 +122,24 @@ printUsage()
         "      --pes N             PE-array size per chip (default 1024)\n"
         "      --seed N / --scale S / --json FILE (default\n"
         "                          BENCH_scaleout.json)\n\n"
+        "  awbsim --bench-spgemm [options]\n"
+        "      Graph-kernel baseline: BFS and PageRank as iterated\n"
+        "      sparse-output SpGEMMs across the balance-policy axis, with\n"
+        "      per-iteration frontier curves and a rebalance helps/hurts\n"
+        "      verdict per policy; gated on determinism, batched==event\n"
+        "      equivalence, functional correctness vs the scalar\n"
+        "      references, and model-vs-engine traffic equality; writes\n"
+        "      the awbsim-bench-spgemm-v1 JSON document\n"
+        "      (BENCH_spgemm.json; DESIGN.md §11).\n"
+        "      --dataset D         default cora\n"
+        "      --policies p1,..    default baseline,local-b,remote-c,\n"
+        "                          remote-d,work-steal\n"
+        "      --pes N             PE-array size (default 64)\n"
+        "      --source N          BFS source vertex (default 0)\n"
+        "      --damping F / --tol F / --max-iters N   PageRank knobs\n"
+        "      --platform P        default unconstrained\n"
+        "      --seed N / --scale S / --json FILE (default\n"
+        "                          BENCH_spgemm.json)\n\n"
         "  awbsim --serve [options]\n"
         "      Serve a per-user inference request stream on N simulated\n"
         "      accelerators and report SLO-percentile latency statistics\n"
@@ -332,6 +353,8 @@ driverMain(int argc, char **argv)
         return runBenchScaleoutCli(argc, argv, 2);
     if (cmd == "--bench-serving" || cmd == "bench-serving")
         return runBenchServingCli(argc, argv, 2);
+    if (cmd == "--bench-spgemm" || cmd == "bench-spgemm")
+        return runBenchSpgemmCli(argc, argv, 2);
     if (cmd == "--list-disciplines") return listDisciplines();
     if (cmd == "--serve" || cmd == "serve")
         return runServeCli(argc, argv, 2);

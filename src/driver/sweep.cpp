@@ -16,6 +16,8 @@
 #include "common/table.hpp"
 #include "gcn/model.hpp"
 #include "graph/datasets.hpp"
+#include "kernels/bfs.hpp"
+#include "kernels/pagerank.hpp"
 #include "model/area_model.hpp"
 #include "model/energy_model.hpp"
 #include "model/memory_model.hpp"
@@ -57,6 +59,26 @@ accumulate(SweepOutcome &out, const PerfSpmmResult &s)
     out.bytesTotal += s.traffic.total();
     out.memoryCycles += s.memoryCycles;
     out.bwBoundRounds += s.bwBoundRounds;
+}
+
+/** Fold a frontier-kernel run (BFS/PageRank) into the outcome. */
+void
+accumulate(SweepOutcome &out, const kernels::FrontierRunStats &s)
+{
+    out.cycles += s.totalCycles;
+    out.tasks += s.totalTasks;
+    out.rounds += s.rounds;
+    out.roundsSimulated += s.roundsSimulated;
+    out.rowsSwitched += s.rowsSwitched;
+    out.convergedRound = std::max(out.convergedRound, s.convergedRound);
+    out.peakTqDepth = std::max(out.peakTqDepth, s.peakQueueDepth);
+    out.bytesTotal += s.traffic.total();
+    out.memoryCycles += s.memoryCycles;
+    out.bwBoundRounds += s.bwBoundRounds;
+    out.haloBytes += s.haloBytes;
+    out.haloCycles += s.haloCycles;
+    out.haloBoundRounds += s.haloBoundRounds;
+    out.chipImbalance = s.chipImbalance;
 }
 
 /** Fold a full Session run into the outcome accumulators. */
@@ -236,9 +258,22 @@ executeOnce(const SweepPoint &p, const SweepOptions &opts)
         Dataset ds = loadSynthetic(spec, p.seed, opts.scale);
         GcnModel model =
             makeGcnModel(ds.spec.f1, ds.spec.f2, ds.spec.f3, p.seed);
-        sim::WorkloadBundle w = sim::buildMultiHopGcn(ds, model, 2);
+        sim::WorkloadBundle w = sim::buildExactKhopGcn(ds, model, 2);
         sim::Session session(cfg);
         accumulate(out, sim::runWorkload(session, std::move(w)));
+        break;
+      }
+      case SweepMode::Bfs: {
+        CscMatrix a = loadSyntheticAdjacency(spec, p.seed, opts.scale);
+        kernels::BfsRun run = kernels::runBfs(cfg, a, /*source=*/0);
+        accumulate(out, run.stats);
+        break;
+      }
+      case SweepMode::Pagerank: {
+        CscMatrix a = loadSyntheticAdjacency(spec, p.seed, opts.scale);
+        kernels::PagerankRun run = kernels::runPagerank(
+            cfg, a, /*damping=*/0.85, /*tol=*/1e-6, /*maxIters=*/200);
+        accumulate(out, run.stats);
         break;
       }
     }
@@ -267,6 +302,8 @@ sweepModeName(SweepMode m)
       case SweepMode::GraphSage: return "graphsage";
       case SweepMode::Gin: return "gin";
       case SweepMode::KhopGcn: return "khop";
+      case SweepMode::Bfs: return "bfs";
+      case SweepMode::Pagerank: return "pagerank";
     }
     return "?";
 }
@@ -281,8 +318,10 @@ parseSweepMode(const std::string &s)
     if (s == "graphsage") return SweepMode::GraphSage;
     if (s == "gin") return SweepMode::Gin;
     if (s == "khop") return SweepMode::KhopGcn;
+    if (s == "bfs") return SweepMode::Bfs;
+    if (s == "pagerank") return SweepMode::Pagerank;
     fatal("unknown sweep mode '" + s +
-          "' (model|cycle|tdq1|tdq2|graphsage|gin|khop)");
+          "' (model|cycle|tdq1|tdq2|graphsage|gin|khop|bfs|pagerank)");
 }
 
 std::uint64_t

@@ -39,7 +39,9 @@ enum class SweepMode
     SpmmTdq2,  ///< cycle-accurate single SPMM, TDQ-2 Omega path (A×B)
     GraphSage, ///< cycle-accurate 2-layer GraphSAGE-mean workload graph
     Gin,       ///< cycle-accurate 2-layer GIN workload graph
-    KhopGcn,   ///< cycle-accurate 2-hop GCN (A²(XW) chains, §3.3)
+    KhopGcn,   ///< cycle-accurate 2-hop GCN (A²(XW) chains, §3.3, §11)
+    Bfs,       ///< frontier BFS via sparse-output SpGEMM (§11)
+    Pagerank,  ///< PageRank power iteration via SpGEMM (§11)
 };
 
 std::string sweepModeName(SweepMode m);
@@ -64,8 +66,9 @@ struct SweepOptions
      *  sharded across (DESIGN.md §9). The default {1} is the unsharded
      *  single-accelerator path, bit-identical to the pre-scale-out
      *  engine. Multi-chip points are supported by the model, cycle and
-     *  single-SPMM modes; the workload-graph modes (graphsage, gin,
-     *  khop) produce per-point error rows for chips > 1. */
+     *  single-SPMM modes and by the frontier kernels (bfs, pagerank);
+     *  the workload-graph modes (graphsage, gin, khop) produce
+     *  per-point error rows for chips > 1. */
     std::vector<int> chipCounts = {1};
     std::vector<SweepMode> modes = {SweepMode::Model};
     /** Cycle-engine implementation for the cycle-accurate modes

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Breadth-first search as a frontier SpGEMM workload (DESIGN.md §11):
+ * level-synchronous push-style BFS where iteration t multiplies the
+ * adjacency by the level-t frontier vector, y = A × x_t, and the next
+ * frontier is y's structural non-zeros minus the visited set. Parent
+ * selection is deterministic: a newly reached vertex v takes the
+ * smallest frontier vertex u with A[v][u] != 0 (frontier scanned in
+ * ascending order), so parent/depth arrays are exact integers the
+ * accelerated run must reproduce bit for bit against bfsReference().
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "accel/config.hpp"
+#include "kernels/frontier.hpp"
+#include "sparse/csc.hpp"
+
+namespace awb::kernels {
+
+/** Functional BFS output. */
+struct BfsResult
+{
+    std::vector<Index> parent;  ///< -1 unreached; parent[source] == source
+    std::vector<Index> depth;   ///< -1 unreached; depth[source] == 0
+    std::vector<Count> frontierSizes;  ///< processed frontier per level
+    Count iterations = 0;       ///< levels processed (== frontierSizes size)
+};
+
+/** Scalar reference BFS over a square CSC adjacency; fatal() on a
+ *  non-square operand or out-of-range source. */
+BfsResult bfsReference(const CscMatrix &a, Index source);
+
+/** BFS executed on the AWB array (cycle fidelity). */
+struct BfsRun
+{
+    BfsResult result;
+    FrontierRunStats stats;
+};
+
+/** Run BFS on the cycle-accurate engine through FrontierRunner; the
+ *  functional arrays must equal bfsReference() exactly (fatal() when
+ *  the engine's structural output disagrees). Honors cfg.chips. */
+BfsRun runBfs(const AccelConfig &cfg, const CscMatrix &a, Index source);
+
+/** Round-level model twin (PerfModel::runSpgemm per level over the
+ *  reference frontier sequence, carried partition); chips must be 1. */
+FrontierRunStats modelBfs(const AccelConfig &cfg, const CscMatrix &a,
+                          Index source);
+
+} // namespace awb::kernels

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * PageRank as a frontier SpGEMM workload (DESIGN.md §11): power
+ * iteration r' = (1-d)/n + d·(M r) over the column-stochastic operator
+ * M built from the adjacency (empty columns get a self-loop, so there
+ * are no dangling vertices), stopping when the double-precision L1
+ * residual ||r' - r||_1 drops to `tol` or after `maxIters` iterations.
+ * The rank vector is dense and strictly positive, so every iteration's
+ * "frontier" carries all n entries — the all-hot counterpoint to BFS's
+ * shifting frontiers. Per-row accumulation runs in ascending source
+ * order in both the scalar reference and the SpGEMM kernel, so the
+ * accelerated scores bit-match pagerankReference().
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "accel/config.hpp"
+#include "kernels/frontier.hpp"
+#include "sparse/csc.hpp"
+
+namespace awb::kernels {
+
+/** Column-stochastic operator of a square adjacency: every column's
+ *  values become 1/colNnz; empty columns get a (j, 1) self-loop so the
+ *  result has no dangling columns. fatal() on a non-square operand. */
+CscMatrix columnStochastic(const CscMatrix &a);
+
+/** Functional PageRank output. */
+struct PagerankResult
+{
+    std::vector<Value> scores;       ///< final rank vector (sums to ~1)
+    Count iterations = 0;            ///< power iterations executed
+    double residual = 0.0;           ///< final L1 residual
+    std::vector<double> residuals;   ///< per-iteration L1 residuals
+    bool converged = false;          ///< residual <= tol before maxIters
+};
+
+/** Scalar reference power iteration; fatal() on a non-square operand,
+ *  damping outside (0, 1), non-positive tol or maxIters < 1. */
+PagerankResult pagerankReference(const CscMatrix &a, double damping,
+                                 double tol, Count maxIters);
+
+/** PageRank executed on the AWB array (cycle fidelity). */
+struct PagerankRun
+{
+    PagerankResult result;
+    FrontierRunStats stats;
+};
+
+/** Run PageRank on the cycle-accurate engine through FrontierRunner;
+ *  scores bit-match pagerankReference(). Honors cfg.chips. */
+PagerankRun runPagerank(const AccelConfig &cfg, const CscMatrix &a,
+                        double damping, double tol, Count maxIters);
+
+/** Round-level model twin (PerfModel::runSpgemm per iteration, carried
+ *  partition); chips must be 1. */
+FrontierRunStats modelPagerank(const AccelConfig &cfg, const CscMatrix &a,
+                               double damping, double tol, Count maxIters);
+
+} // namespace awb::kernels

@@ -1,0 +1,197 @@
+#include "kernels/spgemm.hpp"
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/log.hpp"
+
+namespace awb::kernels {
+
+namespace {
+
+/**
+ * Open-addressing accumulator for one output column: row id → running
+ * value. Entries record insertion order; emission sorts a copy of the
+ * touched rows, so the per-row accumulation order (ascending j, fixed
+ * by the caller's visit order) is independent of hash placement.
+ */
+class HashAccumulator
+{
+  public:
+    void reset(Count upper_bound)
+    {
+        std::size_t want = 8;
+        while (want < 2 * static_cast<std::size_t>(upper_bound)) want *= 2;
+        table_.assign(want, -1);
+        mask_ = want - 1;
+        entries_.clear();
+    }
+
+    void add(Index row, Value v)
+    {
+        std::size_t slot =
+            (static_cast<std::uint64_t>(static_cast<std::uint32_t>(row)) *
+             0x9e3779b9ULL) &
+            mask_;
+        while (true) {
+            std::int64_t e = table_[slot];
+            if (e < 0) {
+                table_[slot] = static_cast<std::int64_t>(entries_.size());
+                entries_.emplace_back(row, v);
+                return;
+            }
+            if (entries_[static_cast<std::size_t>(e)].first == row) {
+                entries_[static_cast<std::size_t>(e)].second += v;
+                return;
+            }
+            slot = (slot + 1) & mask_;
+        }
+    }
+
+    /** Touched (row, value) pairs sorted by row id. */
+    std::vector<std::pair<Index, Value>> &sorted()
+    {
+        std::sort(entries_.begin(), entries_.end(),
+                  [](const auto &x, const auto &y) {
+                      return x.first < y.first;
+                  });
+        return entries_;
+    }
+
+  private:
+    std::vector<std::int64_t> table_;  ///< slot → entry index, -1 empty
+    std::size_t mask_ = 0;
+    std::vector<std::pair<Index, Value>> entries_;
+};
+
+/** Upper bound on one output column's fill: the summed nnz of the A
+ *  columns the B column references (duplicate rows not yet merged). */
+Count
+columnUpperBound(const CscMatrix &a, const CscMatrix &b, Index k)
+{
+    Count upper = 0;
+    const Count begin = b.colPtr()[static_cast<std::size_t>(k)];
+    const Count end = b.colPtr()[static_cast<std::size_t>(k) + 1];
+    for (Count p = begin; p < end; ++p) {
+        const Index j = b.rowId()[static_cast<std::size_t>(p)];
+        upper += a.colPtr()[static_cast<std::size_t>(j) + 1] -
+                 a.colPtr()[static_cast<std::size_t>(j)];
+    }
+    return upper;
+}
+
+} // namespace
+
+CscMatrix
+spgemm(const CscMatrix &a, const CscMatrix &b)
+{
+    if (a.cols() != b.rows())
+        fatal("spgemm: inner dimensions differ (" +
+              std::to_string(a.cols()) + " vs " + std::to_string(b.rows()) +
+              ")");
+    const Index m = a.rows();
+
+    std::vector<Count> col_ptr(static_cast<std::size_t>(b.cols()) + 1, 0);
+    std::vector<Index> row_id;
+    std::vector<Value> val;
+
+    HashAccumulator hash;
+    // Dense fallback scratch: an epoch mark avoids clearing per column.
+    std::vector<Value> dense(static_cast<std::size_t>(m), Value(0));
+    std::vector<std::uint32_t> epoch(static_cast<std::size_t>(m), 0);
+    std::uint32_t cur = 0;
+
+    for (Index k = 0; k < b.cols(); ++k) {
+        const Count begin = b.colPtr()[static_cast<std::size_t>(k)];
+        const Count end = b.colPtr()[static_cast<std::size_t>(k) + 1];
+        const Count upper = columnUpperBound(a, b, k);
+        // Dense rows: when the candidate fill approaches the row count a
+        // hash table buys nothing — accumulate into a dense column and
+        // emit it with a sorted row scan (the sorted-merge fallback).
+        const bool use_dense = upper * 4 >= static_cast<Count>(m);
+
+        if (use_dense) {
+            ++cur;
+            for (Count p = begin; p < end; ++p) {
+                const Index j = b.rowId()[static_cast<std::size_t>(p)];
+                const Value bv = b.val()[static_cast<std::size_t>(p)];
+                for (Count q = a.colPtr()[static_cast<std::size_t>(j)];
+                     q < a.colPtr()[static_cast<std::size_t>(j) + 1]; ++q) {
+                    const auto i = static_cast<std::size_t>(
+                        a.rowId()[static_cast<std::size_t>(q)]);
+                    if (epoch[i] != cur) {
+                        epoch[i] = cur;
+                        dense[i] = Value(0);
+                    }
+                    dense[i] += a.val()[static_cast<std::size_t>(q)] * bv;
+                }
+            }
+            for (Index i = 0; i < m; ++i) {
+                if (epoch[static_cast<std::size_t>(i)] != cur) continue;
+                row_id.push_back(i);
+                val.push_back(dense[static_cast<std::size_t>(i)]);
+            }
+        } else {
+            hash.reset(std::max<Count>(upper, 1));
+            for (Count p = begin; p < end; ++p) {
+                const Index j = b.rowId()[static_cast<std::size_t>(p)];
+                const Value bv = b.val()[static_cast<std::size_t>(p)];
+                for (Count q = a.colPtr()[static_cast<std::size_t>(j)];
+                     q < a.colPtr()[static_cast<std::size_t>(j) + 1]; ++q) {
+                    hash.add(a.rowId()[static_cast<std::size_t>(q)],
+                             a.val()[static_cast<std::size_t>(q)] * bv);
+                }
+            }
+            for (const auto &[row, v] : hash.sorted()) {
+                row_id.push_back(row);
+                val.push_back(v);
+            }
+        }
+        col_ptr[static_cast<std::size_t>(k) + 1] =
+            static_cast<Count>(row_id.size());
+    }
+
+    return CscMatrix::fromParts(m, b.cols(), std::move(col_ptr),
+                                std::move(row_id), std::move(val));
+}
+
+CscMatrix
+spgemmPower(const CscMatrix &a, Index k)
+{
+    if (a.rows() != a.cols()) fatal("spgemmPower: operand must be square");
+    if (k < 1) fatal("spgemmPower: exponent must be >= 1");
+    CscMatrix out = a;
+    for (Index h = 1; h < k; ++h) out = spgemm(a, out);
+    return out;
+}
+
+std::vector<Count>
+spgemmColumnNnz(const CscMatrix &a, const CscMatrix &b)
+{
+    if (a.cols() != b.rows())
+        fatal("spgemmColumnNnz: inner dimensions differ");
+    std::vector<Count> out;
+    out.reserve(static_cast<std::size_t>(b.cols()));
+    std::vector<std::uint32_t> epoch(static_cast<std::size_t>(a.rows()), 0);
+    std::uint32_t cur = 0;
+    for (Index k = 0; k < b.cols(); ++k) {
+        ++cur;
+        Count nnz = 0;
+        for (Count p = b.colPtr()[static_cast<std::size_t>(k)];
+             p < b.colPtr()[static_cast<std::size_t>(k) + 1]; ++p) {
+            const Index j = b.rowId()[static_cast<std::size_t>(p)];
+            for (Count q = a.colPtr()[static_cast<std::size_t>(j)];
+                 q < a.colPtr()[static_cast<std::size_t>(j) + 1]; ++q) {
+                const auto i = static_cast<std::size_t>(
+                    a.rowId()[static_cast<std::size_t>(q)]);
+                if (epoch[i] == cur) continue;
+                epoch[i] = cur;
+                ++nnz;
+            }
+        }
+        out.push_back(nnz);
+    }
+    return out;
+}
+
+} // namespace awb::kernels

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Functional sparse×sparse SPGEMM kernel (DESIGN.md §11): C = A × B for
+ * CSC operands, producing a sparse CSC result. Column-wise Gustavson
+ * with hash-based per-row accumulation — per output column k, B's
+ * column-k non-zeros are visited in ascending inner index j and A's
+ * column j is scattered into a per-column accumulator. Columns whose
+ * upper-bound fill approaches the row count fall back to a dense
+ * accumulator emitted by a sorted row scan; both paths accumulate each
+ * output row's contributions in the same ascending-j order, so the
+ * values bit-match the dense reference interpreter (which adds exact
+ * zeros for the structurally absent terms — a floating-point identity).
+ *
+ * This is the golden model the Spgemm workload node and the
+ * SpmmEngine::executeSpgemm cycle path are validated against; it is
+ * also what they use to materialize the functional result (the event
+ * schedule never feeds values back into control, so timing and values
+ * are computed independently).
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "sparse/csc.hpp"
+
+namespace awb::kernels {
+
+/** C = A × B, both CSC; fatal() when inner dimensions differ. Entries
+ *  whose accumulated value is a hard zero are kept (structural result:
+ *  frontier kernels read reachability off the non-zero pattern). */
+CscMatrix spgemm(const CscMatrix &a, const CscMatrix &b);
+
+/** A^k for k >= 1 by left-multiplication (A × A^(k-1)); k = 1 returns a
+ *  copy of A. fatal() on a non-square operand or k < 1. */
+CscMatrix spgemmPower(const CscMatrix &a, Index k);
+
+/** Structural non-zero count of every output column of A × B — the
+ *  output-traffic accounting the round-level PerfModel shares with the
+ *  cycle engine (DESIGN.md §11) without forming values. */
+std::vector<Count> spgemmColumnNnz(const CscMatrix &a, const CscMatrix &b);
+
+} // namespace awb::kernels

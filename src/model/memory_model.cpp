@@ -95,6 +95,20 @@ MemoryModel::roundTraffic(Count nnz, Index inner_dim, Index rows) const
     return t;
 }
 
+MemoryTraffic
+MemoryModel::spgemmRoundTraffic(Count tasks, Count b_nnz,
+                                Count out_nnz) const
+{
+    MemoryTraffic t;
+    const Count per_nnz =
+        platform_.bytesPerValue + platform_.bytesPerIndex;
+    t.sparseBytes = tasks * per_nnz;
+    t.bRowBytes = b_nnz * per_nnz;
+    t.outputBytes = out_nnz * platform_.bytesPerValue;
+    t.outputIndexBytes = out_nnz * platform_.bytesPerIndex;
+    return t;
+}
+
 Count
 MemoryModel::migrationBytes(const std::vector<int> &owners_before,
                             const std::vector<int> &owners_after,

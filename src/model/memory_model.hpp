@@ -66,7 +66,7 @@ std::string nearestPlatformName(const std::string &name);
  *  `unconstrained`. fatal() with the registered set on an unknown name. */
 const PlatformSpec &findPlatform(const std::string &name);
 
-/** Off-chip bytes moved, by accounting category (DESIGN.md §8). */
+/** Off-chip bytes moved, by accounting category (DESIGN.md §8, §11). */
 struct MemoryTraffic
 {
     Count sparseBytes = 0;     ///< sparse-operand non-zero stream
@@ -74,11 +74,13 @@ struct MemoryTraffic
     Count outputBytes = 0;     ///< result-column writes
     Count migrationBytes = 0;  ///< remote-switch row migrations
     Count haloBytes = 0;       ///< inter-chip boundary-row exchange (§9)
+    Count bRowBytes = 0;       ///< SpGEMM sparse B-column fetch (§11)
+    Count outputIndexBytes = 0;  ///< SpGEMM output row-id writes (§11)
 
     Count total() const
     {
         return sparseBytes + denseBytes + outputBytes + migrationBytes +
-               haloBytes;
+               haloBytes + bRowBytes + outputIndexBytes;
     }
 
     MemoryTraffic &operator+=(const MemoryTraffic &o)
@@ -88,6 +90,8 @@ struct MemoryTraffic
         outputBytes += o.outputBytes;
         migrationBytes += o.migrationBytes;
         haloBytes += o.haloBytes;
+        bRowBytes += o.bRowBytes;
+        outputIndexBytes += o.outputIndexBytes;
         return *this;
     }
 };
@@ -121,6 +125,17 @@ class MemoryModel
      */
     MemoryTraffic roundTraffic(Count nnz, Index inner_dim,
                                Index rows) const;
+
+    /**
+     * Steady per-round traffic of one SpGEMM C = A×B round processing one
+     * sparse B column (DESIGN.md §11): the A non-zero stream the round's
+     * `tasks` multiply (value + index each), the fetched B column
+     * (`b_nnz` value + index pairs — replacing the dense-column stream),
+     * and the written sparse C column (`out_nnz` values plus the same
+     * count of row-id index writes, the new outputIndexBytes class).
+     */
+    MemoryTraffic spgemmRoundTraffic(Count tasks, Count b_nnz,
+                                     Count out_nnz) const;
 
     /**
      * Bytes to migrate the rows whose owner changed between two row→PE

@@ -81,6 +81,43 @@ buildMultiHopGcn(const Dataset &ds, const GcnModel &model, Index k)
 }
 
 WorkloadBundle
+buildExactKhopGcn(const Dataset &ds, const GcnModel &model, Index k)
+{
+    if (k < 1) fatal("buildExactKhopGcn: hop count must be >= 1");
+    if (ds.features.cols() != model.inDim(0))
+        fatal("buildExactKhopGcn: feature dim mismatch");
+
+    WorkloadBundle w;
+    w.name = k == 1 ? "gcn" : "gcn-" + std::to_string(k) + "hop-exact";
+    w.sparse.emplace("A", ds.adjacency);
+    w.sparse.emplace("X0", csrToCsc(ds.features));
+
+    WorkloadBuilder b;
+    b.input("A");
+    TensorId h = b.input("X0");
+    // Materialize A^k once as a chain of sparse×sparse powers; every
+    // layer then aggregates over it with a single TDQ-2 SPMM.
+    TensorId ak = "A";
+    for (Index hop = 1; hop < k; ++hop)
+        ak = b.spgemm("A", ak, "A^" + std::to_string(hop + 1),
+                      "A" + std::to_string(hop + 1));
+    for (Index l = 0; l < model.layers(); ++l) {
+        const std::string tag = layerTag(l);
+        const TensorId wName = "W" + std::to_string(l + 1);
+        w.dense.emplace(
+            wName, model.weights[static_cast<std::size_t>(l)]);
+        TensorId xw = b.spmm(h, b.input(wName), TdqKind::Tdq1DenseScan,
+                             tag + ".XW");
+        TensorId z = b.spmm(ak, xw, TdqKind::Tdq2OmegaCsc,
+                            tag + ".A^k(XW)");
+        bool last = (l == model.layers() - 1);
+        h = last ? z : b.relu(z, "H" + std::to_string(l + 1));
+    }
+    w.graph = b.build(h);
+    return w;
+}
+
+WorkloadBundle
 buildGcn(const Dataset &ds, const GcnModel &model)
 {
     WorkloadBundle w = buildMultiHopGcn(ds, model, model.adjHops);
@@ -203,6 +240,7 @@ referenceEval(const WorkloadBundle &bundle)
         switch (n.kind) {
           case OpKind::Spmm:
           case OpKind::DenseMm:
+          case OpKind::Spgemm:
             out = multiply(get(n.a), get(n.b));
             break;
           case OpKind::Elementwise:

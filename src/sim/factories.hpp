@@ -45,6 +45,17 @@ WorkloadBundle buildMultiHopGcn(const Dataset &ds, const GcnModel &model,
                                 Index k);
 
 /**
+ * k-hop GCN on an *exact* A^k built with Spgemm nodes (DESIGN.md §11):
+ * a chain of sparse×sparse powers A^2 ... A^k precedes the layers, and
+ * every layer aggregates once over the materialized sparse A^k instead
+ * of applying A k times per layer. Numerically equivalent to
+ * buildMultiHopGcn up to float associativity; structurally it exercises
+ * the sparse-output path and prices the power chain once, not per layer.
+ */
+WorkloadBundle buildExactKhopGcn(const Dataset &ds, const GcnModel &model,
+                                 Index k);
+
+/**
  * Two-layer GraphSAGE on top of an input projection.
  *
  * meanAggregate = true:  h' = ReLU( mean(h, Am x h) x W )   with Am the

@@ -57,9 +57,11 @@ Session::run(const WorkloadGraph &graph, StatsSink *sink)
 {
     std::vector<std::size_t> order = graph.schedule();
 
-    // Per-run tensor environment: produced dense tensors, plus CSC
-    // conversions of produced tensors used as sparse operands.
+    // Per-run tensor environment: produced dense tensors, produced
+    // *sparse* tensors (Spgemm outputs), plus CSC conversions of
+    // produced tensors used as sparse operands.
     std::unordered_map<TensorId, DenseMatrix> env;
+    std::unordered_map<TensorId, CscMatrix> sparseEnv;
     std::unordered_map<TensorId, CscMatrix> cscCache;
 
     auto denseOf = [&](const TensorId &name) -> const DenseMatrix & {
@@ -67,6 +69,12 @@ Session::run(const WorkloadGraph &graph, StatsSink *sink)
         if (it != env.end()) return it->second;
         auto bound = dense_.find(name);
         if (bound != dense_.end()) return bound->second;
+        auto sprod = sparseEnv.find(name);
+        if (sprod != sparseEnv.end()) {
+            // A Spgemm output consumed densely: materialize once.
+            return env.emplace(name, cscToDense(sprod->second))
+                .first->second;
+        }
         auto sp = sparse_.find(name);
         if (sp != sparse_.end()) {
             // Rare: a sparse-bound tensor consumed densely (e.g. as the
@@ -77,6 +85,8 @@ Session::run(const WorkloadGraph &graph, StatsSink *sink)
     };
 
     auto sparseOf = [&](const TensorId &name) -> const CscMatrix & {
+        auto sprod = sparseEnv.find(name);
+        if (sprod != sparseEnv.end()) return sprod->second;
         auto bound = sparse_.find(name);
         if (bound != sparse_.end()) return bound->second;
         auto cached = cscCache.find(name);
@@ -172,6 +182,47 @@ Session::run(const WorkloadGraph &graph, StatsSink *sink)
             env.insert_or_assign(n.out, std::move(r.c));
             break;
           }
+          case OpKind::Spgemm: {
+            const CscMatrix &a = sparseOf(n.a);
+            const CscMatrix &b = sparseOf(n.b);
+            auto &maps = sparse_.count(n.a) ? rowMaps_ : localMaps;
+            auto mapIt = maps.find(n.a);
+            const bool fresh = mapIt == maps.end();
+            if (fresh) {
+                mapIt = maps.emplace(n.a, partitioner_->build(
+                                              a.rows(), a.rowNnz(), cfg_))
+                            .first;
+            }
+            if (!fresh && mapIt->second.rows() != a.rows())
+                fatal("Session: sparse operand '" + n.a +
+                      "' changed row count; rebind it under a new name");
+            SpgemmResult r = engine.executeSpgemm(a, b, mapIt->second);
+            r.stats.label = n.label.empty() ? n.out : n.label;
+
+            // A Spgemm completes output column k at the end of round k,
+            // so it chains exactly like a dense-output node: a consumer
+            // streaming n.out column by column overlaps with it, and a
+            // Spgemm whose sparse *streamed* operand n.b is the chain
+            // tail extends the chain (the A×A-power case).
+            bool extends = !chain.stages.empty() && n.b == chainTail &&
+                           res.nodeStats[chain.stages.back()]
+                                   .roundCycles.size() ==
+                               r.stats.roundCycles.size();
+            if (!extends) flushChain();
+
+            res.totalCyclesSerial += r.stats.cycles;
+            res.totalTasks += r.stats.tasks;
+            res.traffic += r.stats.traffic;
+            res.memoryCycles += r.stats.memoryCycles;
+            res.bwBoundRounds += r.stats.bwBoundRounds;
+            res.nodeIds.push_back(id);
+            res.nodeStats.push_back(std::move(r.stats));
+            chain.stages.push_back(res.nodeStats.size() - 1);
+            chainTail = n.out;
+            if (sink) sink->onNode(n, res.nodeStats.back());
+            sparseEnv.insert_or_assign(n.out, std::move(r.c));
+            break;
+          }
           case OpKind::Elementwise: {
             flushChain();
             const DenseMatrix &a = denseOf(n.a);
@@ -196,11 +247,19 @@ Session::run(const WorkloadGraph &graph, StatsSink *sink)
            static_cast<double>(res.totalCyclesSerial))
         : 0.0;
 
-    auto outIt = env.find(graph.output());
-    if (outIt != env.end()) {
-        res.output = std::move(outIt->second);
+    auto sparseOut = sparseEnv.find(graph.output());
+    if (sparseOut != sparseEnv.end()) {
+        res.outputSparse = true;
+        res.output = cscToDense(sparseOut->second);
+        res.sparseOutput = std::move(sparseOut->second);
     } else {
-        res.output = denseOf(graph.output());  // output is a bound tensor
+        auto outIt = env.find(graph.output());
+        if (outIt != env.end()) {
+            res.output = std::move(outIt->second);
+        } else {
+            // Output is a bound tensor.
+            res.output = denseOf(graph.output());
+        }
     }
     if (sink) sink->onRunComplete(res);
     return res;

@@ -48,6 +48,11 @@ struct ChainStats
 struct SessionResult
 {
     DenseMatrix output;                ///< value of the graph output tensor
+    /** When the graph output is a Spgemm node's tensor, its sparse value
+     *  (outputSparse == true); `output` then holds the densified copy so
+     *  dense-only consumers keep working (DESIGN.md §11). */
+    CscMatrix sparseOutput;
+    bool outputSparse = false;
     std::vector<SpmmStats> nodeStats;  ///< per costed node, schedule order
     std::vector<std::size_t> nodeIds;  ///< graph node index per stats entry
     std::vector<ChainStats> chains;    ///< pipelined chain decomposition

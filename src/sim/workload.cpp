@@ -16,6 +16,7 @@ opKindName(OpKind k)
     switch (k) {
       case OpKind::Spmm:        return "Spmm";
       case OpKind::DenseMm:     return "DenseMm";
+      case OpKind::Spgemm:      return "Spgemm";
       case OpKind::Elementwise: return "Elementwise";
       case OpKind::Concat:      return "Concat";
     }
@@ -84,7 +85,18 @@ WorkloadGraph::validate() const
             }
         }
     }
-    if (seen != nodes_.size()) return "workload graph contains a cycle";
+    if (seen != nodes_.size()) {
+        // Name the nodes left on the cycle (indeg > 0 after Kahn) so the
+        // error points at the offending part of the graph instead of
+        // relying on scheduler behavior downstream.
+        std::string cyclic;
+        for (std::size_t i = 0; i < nodes_.size(); ++i) {
+            if (indeg[i] <= 0) continue;
+            if (!cyclic.empty()) cyclic += ", ";
+            cyclic += "'" + nodes_[i].out + "'";
+        }
+        return "workload graph contains a cycle through node(s) " + cyclic;
+    }
     return "";
 }
 
@@ -225,6 +237,19 @@ WorkloadBuilder::denseMm(const TensorId &a, const TensorId &b,
     n.tdq = TdqKind::Tdq1DenseScan;
     n.label = label;
     return emit(std::move(n), out, "mm");
+}
+
+TensorId
+WorkloadBuilder::spgemm(const TensorId &a, const TensorId &b,
+                        const std::string &label, const TensorId &out)
+{
+    WorkloadNode n;
+    n.kind = OpKind::Spgemm;
+    n.a = a;
+    n.b = b;
+    n.tdq = TdqKind::Tdq2OmegaCsc;
+    n.label = label;
+    return emit(std::move(n), out, "spgemm");
 }
 
 TensorId

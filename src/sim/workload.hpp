@@ -7,11 +7,14 @@
  * inputs to matrices, topologically schedules the nodes and executes
  * the costed ones on the cycle-accurate SpmmEngine.
  *
- * The IR is deliberately small: four node kinds cover every workload the
+ * The IR is deliberately small: five node kinds cover every workload the
  * paper's hardware can express.
  *
  *  - Spmm      C = S x B, S a named sparse operand routed through TDQ-1
  *              (dense-stored scan) or TDQ-2 (CSC through the Omega net)
+ *  - Spgemm    C = S x T with both operands sparse and a *sparse* result
+ *              (DESIGN.md §11): hash-accumulated per output column on the
+ *              TDQ-2 path, unlocking A×A powers and frontier kernels
  *  - DenseMm   C = A x W with a produced dense A; executed as a TDQ-1
  *              SPMM over the zero-skipped dense-stored A (exactly how the
  *              hardware runs X(l) x W(l) for l >= 2)
@@ -40,6 +43,7 @@ enum class OpKind
 {
     Spmm,         ///< sparse x dense through a TDQ path (costed)
     DenseMm,      ///< produced-dense x dense, zero-skipping TDQ-1 (costed)
+    Spgemm,       ///< sparse x sparse, sparse output (costed, §11)
     Elementwise,  ///< ReLU / AddScaled / Mean (free)
     Concat,       ///< column-wise concatenation (free)
 };
@@ -71,7 +75,8 @@ struct WorkloadNode
     /** True when the node runs on the SpmmEngine, producing SpmmStats. */
     bool costed() const
     {
-        return kind == OpKind::Spmm || kind == OpKind::DenseMm;
+        return kind == OpKind::Spmm || kind == OpKind::DenseMm ||
+               kind == OpKind::Spgemm;
     }
 
     /** True for single-input nodes. */
@@ -158,6 +163,12 @@ class WorkloadBuilder
     TensorId denseMm(const TensorId &a, const TensorId &b,
                      const std::string &label = "",
                      const TensorId &out = "");
+
+    /** Sparse x sparse SPGEMM with a sparse result (TDQ-2 path, §11).
+     *  `b` may itself be a Spgemm node's output, so A×A powers chain. */
+    TensorId spgemm(const TensorId &a, const TensorId &b,
+                    const std::string &label = "",
+                    const TensorId &out = "");
 
     TensorId relu(const TensorId &a, const TensorId &out = "");
     TensorId addScaled(const TensorId &a, const TensorId &b, double alpha,

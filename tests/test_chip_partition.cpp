@@ -1,0 +1,115 @@
+/**
+ * @file
+ * ChipPartition edge-case tests (DESIGN.md §9): shard extraction when
+ * chips outnumber rows (empty shards), single-row shards, non-zero
+ * coverage across shards, and halo-row sanity — the boundary shapes the
+ * frontier kernels (DESIGN.md §11) shard through.
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "accel/chip_partition.hpp"
+#include "accel/policy.hpp"
+#include "sparse/coo.hpp"
+
+using namespace awb;
+
+namespace {
+
+CscMatrix
+smallMatrix(Index rows, Index cols)
+{
+    CooMatrix coo(rows, cols);
+    for (Index r = 0; r < rows; ++r)
+        for (Index c = 0; c < cols; c += 2)
+            coo.add(r, (c + r) % cols, static_cast<Value>(r + 1));
+    return CscMatrix::fromCoo(coo);
+}
+
+} // namespace
+
+TEST(ChipPartition, EmptyShardsWhenChipsExceedRows)
+{
+    CscMatrix a = smallMatrix(3, 5);
+    AccelConfig cfg = makePolicyConfig("baseline", 8, 1);
+    cfg.chips = 8;
+    ChipPartition part =
+        ChipPartition::build(cfg, a.rows(), a.rowNnz());
+
+    int empty = 0;
+    Index covered = 0;
+    for (int c = 0; c < part.chips(); ++c) {
+        const auto &rows = part.rowsOf(c);
+        covered += static_cast<Index>(rows.size());
+        if (!rows.empty()) continue;
+        ++empty;
+        // An empty shard extracts a valid 0×cols matrix and an empty
+        // work slice — the degenerate shapes FrontierRunner skips.
+        CscMatrix shard = part.extractRows(a, c);
+        EXPECT_EQ(shard.rows(), 0);
+        EXPECT_EQ(shard.cols(), a.cols());
+        EXPECT_EQ(shard.nnz(), 0);
+        EXPECT_TRUE(shard.valid());
+        EXPECT_TRUE(part.extractWork(a.rowNnz(), c).empty());
+    }
+    EXPECT_GE(empty, 5);  // at most 3 of 8 shards can own a row
+    EXPECT_EQ(covered, a.rows());
+}
+
+TEST(ChipPartition, SingleRowShards)
+{
+    CscMatrix a = smallMatrix(4, 4);
+    AccelConfig cfg = makePolicyConfig("baseline", 4, 1);
+    cfg.chips = 4;
+    ChipPartition part =
+        ChipPartition::build(cfg, a.rows(), a.rowNnz());
+
+    const std::vector<Count> row_work = a.rowNnz();
+    Count nnz_covered = 0;
+    for (int c = 0; c < part.chips(); ++c) {
+        ASSERT_EQ(part.rowsOf(c).size(), 1u) << c;
+        const Index global = part.rowsOf(c)[0];
+        EXPECT_EQ(part.chipOf(global), c);
+
+        CscMatrix shard = part.extractRows(a, c);
+        EXPECT_EQ(shard.rows(), 1);
+        EXPECT_EQ(shard.cols(), a.cols());
+        EXPECT_TRUE(shard.valid());
+        EXPECT_EQ(shard.nnz(),
+                  row_work[static_cast<std::size_t>(global)]);
+        nnz_covered += shard.nnz();
+
+        std::vector<Count> work = part.extractWork(row_work, c);
+        ASSERT_EQ(work.size(), 1u);
+        EXPECT_EQ(work[0], row_work[static_cast<std::size_t>(global)]);
+    }
+    // Every non-zero of the original lands in exactly one shard.
+    EXPECT_EQ(nnz_covered, a.nnz());
+    EXPECT_EQ(part.imbalance(row_work), 1.0);
+}
+
+TEST(ChipPartition, HaloRowsZeroUnshardedAndRectangular)
+{
+    CscMatrix square = smallMatrix(6, 6);
+    AccelConfig one = makePolicyConfig("baseline", 4, 1);
+    one.chips = 1;
+    ChipPartition p1 =
+        ChipPartition::build(one, square.rows(), square.rowNnz());
+    for (Count h : p1.haloRows(square)) EXPECT_EQ(h, 0);
+
+    // Rectangular operand: the dense operand is replicated, no halo.
+    CscMatrix rect = smallMatrix(6, 4);
+    AccelConfig two = makePolicyConfig("baseline", 4, 1);
+    two.chips = 2;
+    ChipPartition p2 =
+        ChipPartition::build(two, rect.rows(), rect.rowNnz());
+    for (Count h : p2.haloRows(rect)) EXPECT_EQ(h, 0);
+
+    // Square sharded operand with cross-chip references has a halo.
+    ChipPartition p3 =
+        ChipPartition::build(two, square.rows(), square.rowNnz());
+    std::vector<Count> halo = p3.haloRows(square);
+    EXPECT_GT(std::accumulate(halo.begin(), halo.end(), Count(0)), 0);
+}

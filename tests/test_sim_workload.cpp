@@ -111,8 +111,12 @@ TEST(WorkloadGraph, ValidateReportsMissingOutputAndCycles)
     d.ew = EwKind::Relu;
     d.out = "D";
     d.a = "C";
-    EXPECT_NE(WorkloadGraph({c, d}, {"A"}, "C").validate().find("cycle"),
-              std::string::npos);
+    const std::string err = WorkloadGraph({c, d}, {"A"}, "C").validate();
+    EXPECT_NE(err.find("cycle"), std::string::npos);
+    // The error names every node on the cycle so a misauthored graph is
+    // debuggable without re-deriving the topological order by hand.
+    EXPECT_NE(err.find("'C'"), std::string::npos) << err;
+    EXPECT_NE(err.find("'D'"), std::string::npos) << err;
 }
 
 TEST(WorkloadGraph, ScheduleHandlesArbitraryNodeOrder)

@@ -3,9 +3,10 @@
 against the baselines tracked in the repository.
 
 The tracked baselines (BENCH_engine.json, BENCH_memory.json,
-BENCH_scaleout.json) pin the simulator's *model outputs* — cycle counts,
-traffic bytes, round counts, convergence — which are deterministic
-functions of the seed and must never drift silently. Host-dependent
+BENCH_scaleout.json, BENCH_serving.json, BENCH_spgemm.json) pin the
+simulator's *model outputs* — cycle counts, traffic bytes, round counts,
+convergence, frontier curves and rebalance verdicts — which are
+deterministic functions of the seed and must never drift silently. Host-dependent
 measurements (any key containing ``wall_ms`` or ``speedup``, and the
 derived ``largest_paired_config`` summary built from them) are reported
 as advisory drift only.
@@ -147,6 +148,73 @@ def self_test():
         failures.append("wall-clock drift treated as regression")
     if not drift:
         failures.append("wall-clock drift not reported as advisory")
+
+    # awbsim-bench-spgemm-v1: frontier curves, verdicts and the new
+    # traffic classes are model fields (blocking); wall_ms is advisory.
+    spgemm = {
+        "schema": "awbsim-bench-spgemm-v1",
+        "dataset": "cora",
+        "points": [
+            {
+                "kernel": "bfs",
+                "policy": "remote-d",
+                "cycles": 435,
+                "frontier": [1, 9, 110],
+                "iter_cycles": [7, 12, 53],
+                "b_row_bytes": 1000,
+                "output_index_bytes": 500,
+                "verdict": "helps",
+                "wall_ms": 27.3,
+            }
+        ],
+        "summary": {
+            "deterministic": True,
+            "engines_identical": True,
+            "verdicts": {"bfs": {"remote-d": "helps"}},
+        },
+    }
+
+    def spgemm_verdict(fresh):
+        blocking, advisory = [], []
+        diff(spgemm, fresh, "", blocking, advisory)
+        return bool(blocking), bool(advisory)
+
+    bad, _ = spgemm_verdict(copy.deepcopy(spgemm))
+    if bad:
+        failures.append("identical spgemm documents flagged")
+
+    p = copy.deepcopy(spgemm)
+    p["points"][0]["frontier"][1] = 10
+    bad, _ = spgemm_verdict(p)
+    if not bad:
+        failures.append("perturbed spgemm frontier curve not caught")
+
+    p = copy.deepcopy(spgemm)
+    p["points"][0]["b_row_bytes"] += 4
+    bad, _ = spgemm_verdict(p)
+    if not bad:
+        failures.append("perturbed spgemm b_row_bytes not caught")
+
+    p = copy.deepcopy(spgemm)
+    p["points"][0]["verdict"] = "hurts"
+    p["summary"]["verdicts"]["bfs"]["remote-d"] = "hurts"
+    bad, _ = spgemm_verdict(p)
+    if not bad:
+        failures.append("flipped spgemm verdict not caught")
+
+    p = copy.deepcopy(spgemm)
+    p["summary"]["deterministic"] = False
+    bad, _ = spgemm_verdict(p)
+    if not bad:
+        failures.append("flipped spgemm determinism gate not caught")
+
+    p = copy.deepcopy(spgemm)
+    p["points"][0]["wall_ms"] = 1e6
+    bad, drift = spgemm_verdict(p)
+    if bad:
+        failures.append("spgemm wall-clock drift treated as regression")
+    if not drift:
+        failures.append("spgemm wall-clock drift not advisory")
 
     for f in failures:
         print(f"SELF-TEST FAIL: {f}")
