@@ -223,6 +223,155 @@ class PeriodicRechunkRebalance : public RebalancePolicy
     Count totalMoved_ = 0;
 };
 
+/**
+ * Delta-reacting rebalancing for streaming graphs (DESIGN.md §12): the
+ * policy keeps a snapshot of the per-row work it last acted on; each
+ * observation it diffs the live row-work vector against that snapshot
+ * and only the *changed* rows (the churn delta) are candidates for
+ * migration — heaviest first, moved off above-mean PEs onto the
+ * current coldest PE when that narrows the gap. A static workload
+ * diffs to an empty delta, so inside a fixed-operand execution the
+ * policy is a no-op after its first (snapshot-only) observation.
+ *
+ * `threshold` gates action on global imbalance: the delta is only
+ * acted on while max PE load exceeds threshold × mean. While the gate
+ * holds the snapshot is *not* advanced, so tolerated drift accumulates
+ * and the eventual correction sees every row changed since the last
+ * action. threshold == 1.0 reacts to every delta (delta-greedy);
+ * 1.15 tolerates ±15% skew first (delta-threshold).
+ *
+ * Never latches converged(): a streaming workload may change again at
+ * any epoch, so the policy stays live for the whole run.
+ */
+class DeltaRebalance : public RebalancePolicy
+{
+  public:
+    explicit DeltaRebalance(double threshold) : threshold_(threshold) {}
+
+    int observeAndAdjust(const RoundObservation &,
+                         const std::vector<Count> &row_work,
+                         RowPartition &partition) override
+    {
+        if (!seeded_) {
+            prevWork_ = row_work;
+            seeded_ = true;
+            return 0;
+        }
+        const Index n = static_cast<Index>(row_work.size());
+        std::vector<Index> changed;
+        for (Index r = 0; r < n; ++r) {
+            if (row_work[static_cast<std::size_t>(r)] !=
+                prevWork_[static_cast<std::size_t>(r)])
+                changed.push_back(r);
+        }
+        if (changed.empty()) return 0;
+
+        const int P = partition.numPes();
+        std::vector<Count> load = partition.workload(row_work);
+        const Count total =
+            std::accumulate(load.begin(), load.end(), Count(0));
+        const double mean =
+            static_cast<double>(total) / std::max(P, 1);
+        const Count max_load =
+            *std::max_element(load.begin(), load.end());
+        if (static_cast<double>(max_load) <= threshold_ * mean)
+            return 0;  // tolerated skew; keep accumulating the delta
+        prevWork_ = row_work;
+
+        std::sort(changed.begin(), changed.end(),
+                  [&](Index a, Index b) {
+                      Count wa = row_work[static_cast<std::size_t>(a)];
+                      Count wb = row_work[static_cast<std::size_t>(b)];
+                      if (wa != wb) return wa > wb;
+                      return a < b;
+                  });
+        int moved = 0;
+        for (Index r : changed) {
+            const Count w = row_work[static_cast<std::size_t>(r)];
+            if (w <= 0) break;  // only vanished rows remain
+            const int from = partition.owner(r);
+            const Count mean_floor = static_cast<Count>(mean);
+            if (load[static_cast<std::size_t>(from)] <= mean_floor)
+                continue;
+            int cold = 0;
+            for (int p = 1; p < P; ++p) {
+                if (load[static_cast<std::size_t>(p)] <
+                    load[static_cast<std::size_t>(cold)])
+                    cold = p;
+            }
+            // Move only when it narrows the donor/receiver gap.
+            if (cold == from ||
+                load[static_cast<std::size_t>(from)] -
+                        load[static_cast<std::size_t>(cold)] <=
+                    w)
+                continue;
+            partition.moveRow(r, cold);
+            load[static_cast<std::size_t>(from)] -= w;
+            load[static_cast<std::size_t>(cold)] += w;
+            ++moved;
+        }
+        totalMoved_ += moved;
+        return moved;
+    }
+
+    bool converged() const override { return false; }
+    Count convergedRound() const override { return -1; }
+    Count totalRowsMoved() const override { return totalMoved_; }
+
+  private:
+    double threshold_;
+    bool seeded_ = false;
+    std::vector<Count> prevWork_;
+    Count totalMoved_ = 0;
+};
+
+/**
+ * From-scratch baseline for the streaming experiments: every
+ * observation rebuilds the contiguous equal-work chunking (the
+ * PeriodicRechunkRebalance math with period 1 and no convergence
+ * latch). Under a static workload the rebuild is a fixed point after
+ * its first application; under churn it re-tunes completely each
+ * epoch — the "retune from scratch" upper bound the delta policies
+ * are measured against.
+ */
+class RescratchRebalance : public RebalancePolicy
+{
+  public:
+    int observeAndAdjust(const RoundObservation &,
+                         const std::vector<Count> &row_work,
+                         RowPartition &partition) override
+    {
+        const int P = partition.numPes();
+        const Index n = partition.rows();
+        Count total = std::accumulate(row_work.begin(), row_work.end(),
+                                      Count(0));
+        if (total <= 0) return 0;
+        std::vector<int> owner(static_cast<std::size_t>(n), 0);
+        int moved = 0;
+        Count prefix = 0;
+        for (Index r = 0; r < n; ++r) {
+            Count w = row_work[static_cast<std::size_t>(r)];
+            Count mid = prefix + w / 2;
+            int pe = static_cast<int>(
+                std::min<Count>(P - 1, (mid * P) / total));
+            owner[static_cast<std::size_t>(r)] = pe;
+            if (partition.owner(r) != pe) ++moved;
+            prefix += w;
+        }
+        if (moved == 0) return 0;
+        partition = RowPartition(std::move(owner), P);
+        totalMoved_ += moved;
+        return moved;
+    }
+
+    bool converged() const override { return false; }
+    Count convergedRound() const override { return -1; }
+    Count totalRowsMoved() const override { return totalMoved_; }
+
+  private:
+    Count totalMoved_ = 0;
+};
+
 // ------------------------------------------------------------ helpers
 
 /** The enum-era derivation of the paper designs: partition from
@@ -337,6 +486,50 @@ PolicyRegistry::PolicyRegistry()
         p.configure = [](AccelConfig &, int) {};
         p.rebalance = [](const AccelConfig &, Index) {
             return std::make_unique<PeriodicRechunkRebalance>(4);
+        };
+        add(std::move(p));
+    }
+
+    // Streaming-graph policies (DESIGN.md §12): consumed by the dynamic
+    // runner at churn-epoch boundaries, but registered like any other
+    // policy so they also run through both fidelities and every sweep
+    // mode (where a static workload makes them cheap no-ops).
+    {
+        BalancePolicy p;
+        p.name = "delta-greedy";
+        p.label = "DeltaGreedy";
+        p.description = "delta-reacting rebalance: only rows whose work "
+                        "changed migrate, heaviest-first to the coldest PE";
+        p.aliases = {"dgreedy"};
+        p.configure = [](AccelConfig &, int) {};
+        p.rebalance = [](const AccelConfig &, Index) {
+            return std::make_unique<DeltaRebalance>(1.0);
+        };
+        add(std::move(p));
+    }
+    {
+        BalancePolicy p;
+        p.name = "delta-threshold";
+        p.label = "DeltaThresh";
+        p.description = "delta-reacting rebalance gated on imbalance: "
+                        "acts once max PE load exceeds 1.15x the mean";
+        p.aliases = {"dthresh"};
+        p.configure = [](AccelConfig &, int) {};
+        p.rebalance = [](const AccelConfig &, Index) {
+            return std::make_unique<DeltaRebalance>(1.15);
+        };
+        add(std::move(p));
+    }
+    {
+        BalancePolicy p;
+        p.name = "rescratch";
+        p.label = "Rescratch";
+        p.description = "from-scratch streaming baseline: rebuild the "
+                        "equal-work chunking at every observation";
+        p.aliases = {"scratch"};
+        p.configure = [](AccelConfig &, int) {};
+        p.rebalance = [](const AccelConfig &, Index) {
+            return std::make_unique<RescratchRebalance>();
         };
         add(std::move(p));
     }
@@ -469,6 +662,39 @@ makeRebalancePolicy(const AccelConfig &cfg, Index rows)
         if (spec.rebalance) return spec.rebalance(cfg, rows);
     }
     return legacyRebalance(cfg, rows);
+}
+
+void
+tuneWithPolicy(RebalancePolicy &policy,
+               const std::vector<Count> &row_work,
+               RowPartition &partition, int max_rounds)
+{
+    int idle = 0;
+    for (int round = 0;
+         round < max_rounds && !policy.converged() && idle < 4;
+         ++round) {
+        RoundObservation obs;
+        obs.peWork = partition.workload(row_work);
+        obs.drainCycle.assign(obs.peWork.begin(), obs.peWork.end());
+        const int moved =
+            policy.observeAndAdjust(obs, row_work, partition);
+        // Four idle rounds, not one: the remote switcher's Eq. 5 sets
+        // N_1 = 0 so its first round legitimately moves nothing, and
+        // the periodic rechunker only acts on every 4th observation.
+        idle = moved == 0 ? idle + 1 : 0;
+    }
+}
+
+RowPartition
+tuneToConvergence(const AccelConfig &cfg,
+                  const std::vector<Count> &row_work, int max_rounds)
+{
+    const Index rows = static_cast<Index>(row_work.size());
+    RowPartition partition =
+        makePartitionPolicy(cfg)->build(rows, row_work, cfg);
+    auto policy = makeRebalancePolicy(cfg, rows);
+    tuneWithPolicy(*policy, row_work, partition, max_rounds);
+    return partition;
 }
 
 double

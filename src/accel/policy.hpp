@@ -234,6 +234,31 @@ std::unique_ptr<PartitionPolicy> makePartitionPolicy(const AccelConfig &cfg);
 std::unique_ptr<RebalancePolicy> makeRebalancePolicy(const AccelConfig &cfg,
                                                      Index rows);
 
+/**
+ * Build a partition for `row_work` under `cfg` and drive a *fresh*
+ * rebalance-policy instance to convergence against that fixed workload
+ * (synthetic observations: per-PE home-attributed work, drain == work).
+ * Stops at converged(), after three consecutive zero-move rounds (the
+ * remote switcher's first round legitimately moves nothing), or after
+ * `max_rounds`. This is the "freshly tuned" reference the dynamic
+ * runner compares a carried partition against when computing the
+ * convergence half-life (DESIGN.md §12).
+ */
+RowPartition tuneToConvergence(const AccelConfig &cfg,
+                               const std::vector<Count> &row_work,
+                               int max_rounds = 64);
+
+/**
+ * Drive an *existing* rebalance-policy instance over `partition` with
+ * the same synthetic-observation loop as tuneToConvergence(). The
+ * dynamic runner uses this to warm up its persistent policy on the
+ * initial graph, so that epoch-level drift measures churn-induced
+ * staleness rather than the policy's own warm-up transient.
+ */
+void tuneWithPolicy(RebalancePolicy &policy,
+                    const std::vector<Count> &row_work,
+                    RowPartition &partition, int max_rounds = 64);
+
 /** Modelled clock of a configuration's policy (kFpgaMhz-style constant
  *  lives with the policy: the EIE-like reference runs at 285 MHz). */
 double policyClockMhz(const AccelConfig &cfg);

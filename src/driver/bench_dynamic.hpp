@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Dynamic-graph streaming benchmark (`awbsim --bench-dynamic`): runs
+ * churn-gcn epochs (DESIGN.md §12) on each dataset, once per balance
+ * policy, and records the per-epoch carried-vs-fresh drift curve plus
+ * the convergence half-life — the first epoch at which a carried
+ * partition's cycles drift past the tolerance relative to a freshly
+ * tuned one. Four gates ride on the exit code: determinism (two event
+ * runs must produce identical cycles, tasks and half-life), engine
+ * equivalence (batched == event statistics), rebuild identity (the
+ * DeltaCsr-maintained matrix after every batch bit-equals a
+ * from-scratch rebuild of the live edge set), and trajectory agreement
+ * (the round-level model's per-epoch churn/migration trajectory equals
+ * the cycle engine's — epoch boundaries are fidelity-independent).
+ * Emits the `awbsim-bench-dynamic-v1` JSON document
+ * (BENCH_dynamic.json), tracked in-repo and diffed by
+ * tools/check_bench.py in CI. Implemented in bench/bench_dynamic.cpp
+ * (compiled into awbsim).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace awb::driver {
+
+/** Grid axes and knobs of one streaming benchmark run. */
+struct BenchDynamicOptions
+{
+    std::vector<std::string> datasets = {"cora", "citeseer"};
+    /** Balance-policy axis; "baseline" is prepended when absent (its
+     *  carried partition equals the fresh one, anchoring drift 0). */
+    std::vector<std::string> policies = {"baseline", "rescratch", "rechunk",
+                                         "delta-greedy", "delta-threshold",
+                                         "work-steal", "remote-d"};
+    /** 256 PEs (few rows per PE) with growth-dominated churn is the
+     *  regime where a frozen partition visibly ages: hub rows fatten
+     *  under preferential attachment and single PEs go hot. At 64 PEs
+     *  the same churn averages out and every half-life is "never". */
+    int pes = 256;             ///< PE-array size (power of two for Omega)
+    Count epochs = 10;         ///< churn batches per run
+    Count eventsPerEpoch = 1024;
+    Index denseCols = 8;       ///< feature-block columns per epoch
+    double insertFrac = 0.9;   ///< churn insert:delete mix (growth-heavy)
+    double driftTolerance = 0.10;
+    std::uint64_t seed = 1;
+    double scale = 1.0;
+    std::string platform = "unconstrained";
+    std::string jsonPath = "BENCH_dynamic.json";
+};
+
+/**
+ * Run the streaming grid, print a half-life table, write the JSON
+ * document. Returns 0 on success, 1 when any gate failed
+ * (non-deterministic, engine mismatch, rebuild mismatch, or
+ * model-trajectory mismatch) — the gate CI relies on.
+ */
+int runBenchDynamic(const BenchDynamicOptions &opts);
+
+/** CLI front-end for `awbsim --bench-dynamic`; returns the exit code. */
+int runBenchDynamicCli(int argc, char **argv, int first);
+
+} // namespace awb::driver

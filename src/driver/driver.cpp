@@ -7,6 +7,7 @@
 
 #include "accel/policy.hpp"
 #include "common/log.hpp"
+#include "driver/bench_dynamic.hpp"
 #include "driver/bench_engine.hpp"
 #include "driver/bench_memory.hpp"
 #include "driver/bench_scaleout.hpp"
@@ -61,10 +62,12 @@ printUsage()
         "                          chip, the unsharded engine; DESIGN.md\n"
         "                          §9; model/cycle/tdq1/tdq2 modes)\n"
         "      --modes m1,m2,..    of model|cycle|tdq1|tdq2|graphsage|gin|\n"
-        "                          khop|bfs|pagerank (default model;\n"
+        "                          khop|bfs|pagerank|churn (default model;\n"
         "                          graphsage/gin/khop run workload graphs\n"
         "                          on the Session API; bfs/pagerank run\n"
-        "                          frontier SpGEMM kernels, DESIGN.md §11)\n"
+        "                          frontier SpGEMM kernels, DESIGN.md §11;\n"
+        "                          churn streams edge churn through live\n"
+        "                          inference epochs, DESIGN.md §12)\n"
         "      --engine E          cycle-engine implementation for the\n"
         "                          cycle-accurate modes: event (default,\n"
         "                          per-non-zero stepping) or batched\n"
@@ -122,6 +125,26 @@ printUsage()
         "      --pes N             PE-array size per chip (default 1024)\n"
         "      --seed N / --scale S / --json FILE (default\n"
         "                          BENCH_scaleout.json)\n\n"
+        "  awbsim --bench-dynamic [options]\n"
+        "      Dynamic-graph streaming baseline: churn-gcn epochs across\n"
+        "      the balance-policy axis with per-epoch carried-vs-fresh\n"
+        "      drift curves and the convergence half-life; gated on\n"
+        "      double-run determinism, event/batched engine equivalence,\n"
+        "      incremental-vs-rebuilt matrix identity and cycle/model\n"
+        "      trajectory agreement; writes the awbsim-bench-dynamic-v1\n"
+        "      JSON document (BENCH_dynamic.json; DESIGN.md §12).\n"
+        "      --datasets a,b,..   default cora,citeseer\n"
+        "      --policies p1,..    default baseline,rescratch,\n"
+        "                          delta-greedy,delta-threshold,remote-d\n"
+        "      --pes N             default 64\n"
+        "      --epochs N          churn batches per run (default 8)\n"
+        "      --events N          churn events per batch (default 256)\n"
+        "      --dense-cols N      feature columns per epoch (default 8)\n"
+        "      --insert-frac F     churn insert:delete mix (default 0.5)\n"
+        "      --drift-tol F       half-life drift tolerance (default\n"
+        "                          0.10)\n"
+        "      --seed N / --scale S / --platform P / --json FILE\n"
+        "                          (default BENCH_dynamic.json)\n\n"
         "  awbsim --bench-spgemm [options]\n"
         "      Graph-kernel baseline: BFS and PageRank as iterated\n"
         "      sparse-output SpGEMMs across the balance-policy axis, with\n"
@@ -355,6 +378,8 @@ driverMain(int argc, char **argv)
         return runBenchServingCli(argc, argv, 2);
     if (cmd == "--bench-spgemm" || cmd == "bench-spgemm")
         return runBenchSpgemmCli(argc, argv, 2);
+    if (cmd == "--bench-dynamic" || cmd == "bench-dynamic")
+        return runBenchDynamicCli(argc, argv, 2);
     if (cmd == "--list-disciplines") return listDisciplines();
     if (cmd == "--serve" || cmd == "serve")
         return runServeCli(argc, argv, 2);

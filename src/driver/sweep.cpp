@@ -14,6 +14,7 @@
 #include "common/log.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
+#include "dynamic/dynamic_runner.hpp"
 #include "gcn/model.hpp"
 #include "graph/datasets.hpp"
 #include "kernels/bfs.hpp"
@@ -81,6 +82,26 @@ accumulate(SweepOutcome &out, const kernels::FrontierRunStats &s)
     out.chipImbalance = s.chipImbalance;
 }
 
+/** Fold a streaming churn run into the outcome. */
+void
+accumulate(SweepOutcome &out, const dynamic::DynamicRunStats &s, int pes)
+{
+    out.cycles += s.totalCycles;
+    out.tasks += s.totalTasks;
+    out.rounds += s.rounds;
+    out.roundsSimulated += s.roundsSimulated;
+    out.rowsSwitched += s.rowsMoved;
+    out.peakTqDepth = std::max(out.peakTqDepth, s.peakQueueDepth);
+    out.bytesTotal += s.traffic.total();
+    out.memoryCycles += s.memoryCycles;
+    out.bwBoundRounds += s.bwBoundRounds;
+    out.halfLifeEpochs = s.halfLifeEpochs;
+    if (out.cycles > 0 && pes > 0)
+        out.utilization = static_cast<double>(out.tasks) /
+                          (static_cast<double>(pes) *
+                           static_cast<double>(out.cycles));
+}
+
 /** Fold a full Session run into the outcome accumulators. */
 void
 accumulate(SweepOutcome &out, const sim::SessionResult &res)
@@ -135,6 +156,12 @@ executeOnce(const SweepPoint &p, const SweepOptions &opts)
                     " is unsupported: the workload-graph modes "
                     "(graphsage|gin|khop) run unsharded only; multi-chip "
                     "sharding supports model|cycle|tdq1|tdq2";
+        return out;
+    }
+    if (sharded && p.mode == SweepMode::ChurnGcn) {
+        out.error = "mode 'churn' with chips=" + std::to_string(p.chips) +
+                    " is unsupported: edge churn invalidates static "
+                    "shard boundaries";
         return out;
     }
 
@@ -276,6 +303,20 @@ executeOnce(const SweepPoint &p, const SweepOptions &opts)
         accumulate(out, run.stats);
         break;
       }
+      case SweepMode::ChurnGcn: {
+        CscMatrix a = loadSyntheticAdjacency(spec, p.seed, opts.scale);
+        dynamic::ChurnParams churn;
+        churn.seed = p.seed;
+        dynamic::DynamicOptions dopts;
+        dopts.fidelity = dynamic::DynamicFidelity::Cycle;
+        dopts.epochs = 6;
+        dopts.eventsPerEpoch = std::max<Count>(16, a.nnz() / 20);
+        dopts.denseCols = 8;
+        dopts.seed = p.seed;
+        accumulate(out, dynamic::runChurnGcn(cfg, a, churn, dopts),
+                   p.pes);
+        break;
+      }
     }
 
     double mhz = policyClockMhz(cfg);
@@ -304,6 +345,7 @@ sweepModeName(SweepMode m)
       case SweepMode::KhopGcn: return "khop";
       case SweepMode::Bfs: return "bfs";
       case SweepMode::Pagerank: return "pagerank";
+      case SweepMode::ChurnGcn: return "churn";
     }
     return "?";
 }
@@ -320,8 +362,10 @@ parseSweepMode(const std::string &s)
     if (s == "khop") return SweepMode::KhopGcn;
     if (s == "bfs") return SweepMode::Bfs;
     if (s == "pagerank") return SweepMode::Pagerank;
+    if (s == "churn" || s == "churn-gcn") return SweepMode::ChurnGcn;
     fatal("unknown sweep mode '" + s +
-          "' (model|cycle|tdq1|tdq2|graphsage|gin|khop|bfs|pagerank)");
+          "' (model|cycle|tdq1|tdq2|graphsage|gin|khop|bfs|pagerank|"
+          "churn)");
 }
 
 std::uint64_t
@@ -503,6 +547,7 @@ sweepToJson(const SweepOptions &opts,
             p.set("halo_cycles", o.haloCycles);
             p.set("halo_bound_rounds", o.haloBoundRounds);
             p.set("chip_imbalance", o.chipImbalance);
+            p.set("half_life_epochs", o.halfLifeEpochs);
             p.set("latency_ms", o.latencyMs);
             p.set("inferences_per_kj", o.inferencesPerKj);
             p.set("area_total_clb", o.areaTotalClb);

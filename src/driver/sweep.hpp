@@ -42,6 +42,7 @@ enum class SweepMode
     KhopGcn,   ///< cycle-accurate 2-hop GCN (A²(XW) chains, §3.3, §11)
     Bfs,       ///< frontier BFS via sparse-output SpGEMM (§11)
     Pagerank,  ///< PageRank power iteration via SpGEMM (§11)
+    ChurnGcn,  ///< streaming churn epochs over a live adjacency (§12)
 };
 
 std::string sweepModeName(SweepMode m);
@@ -123,6 +124,9 @@ struct SweepOutcome
     Cycle haloCycles = 0;          ///< summed per-round link floors
     Count haloBoundRounds = 0;     ///< rounds stretched to the link floor
     double chipImbalance = 1.0;    ///< max/mean chip workload (1 = even)
+    /** Churn mode only: first epoch whose carried-vs-fresh cycle drift
+     *  reached the tolerance (-1 = never went stale; DESIGN.md §12). */
+    Count halfLifeEpochs = -1;
     double latencyMs = 0.0;        ///< at the paper's 275 MHz
     double inferencesPerKj = 0.0;
     double areaTotalClb = 0.0;

@@ -1,0 +1,158 @@
+#include "dynamic/churn.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+#include "common/log.hpp"
+#include "graph/generator.hpp"
+
+namespace awb::dynamic {
+
+namespace {
+
+/** Preferential-attachment insert attempts before degrading to uniform
+ *  sampling (a hub neighbourhood may be locally saturated). */
+constexpr int kPrefAttempts = 32;
+
+/** Uniform rejection-sampling attempts before the deterministic scan. */
+constexpr int kUniformAttempts = 256;
+
+/** Aged-delete tournament size: candidates sampled uniformly, the
+ *  oldest (smallest born, ties by row then col) wins. */
+constexpr std::size_t kAgedCandidates = 8;
+
+} // namespace
+
+EdgeChurnStream::EdgeChurnStream(const CscMatrix &initial,
+                                 const ChurnParams &params)
+    : params_(params), rng_(splitmix64(params.seed)),
+      rows_(initial.rows()), cols_(initial.cols())
+{
+    if (rows_ <= 0 || cols_ <= 0)
+        fatal("EdgeChurnStream: initial matrix must have positive dims");
+    if (params_.insertFrac < 0.0 || params_.insertFrac > 1.0)
+        fatal("EdgeChurnStream: insertFrac must be in [0, 1]");
+    if (params_.agedFrac < 0.0 || params_.agedFrac > 1.0)
+        fatal("EdgeChurnStream: agedFrac must be in [0, 1]");
+
+    edges_.reserve(static_cast<std::size_t>(initial.nnz()));
+    edgeCols_.reserve(static_cast<std::size_t>(initial.nnz()));
+    present_.reserve(static_cast<std::size_t>(initial.nnz()) * 2);
+    for (Index j = 0; j < cols_; ++j) {
+        for (Count p = initial.colPtr()[static_cast<std::size_t>(j)];
+             p < initial.colPtr()[static_cast<std::size_t>(j) + 1]; ++p) {
+            const Index r =
+                initial.rowId()[static_cast<std::size_t>(p)];
+            edges_.push_back({r, j, /*born=*/0});
+            edgeCols_.push_back(j);
+            present_.insert(packKey(r, j));
+        }
+    }
+}
+
+EdgeEvent
+EdgeChurnStream::next()
+{
+    // One mix draw per event, always consumed, so the draw sequence —
+    // and with it the whole stream — is independent of batching.
+    const bool insert = rng_.nextBool(params_.insertFrac);
+    EdgeEvent ev =
+        (insert || edges_.empty()) ? emitInsert() : emitDelete();
+    ev.time = time_++;
+    return ev;
+}
+
+std::vector<EdgeEvent>
+EdgeChurnStream::nextBatch(Count n)
+{
+    std::vector<EdgeEvent> batch;
+    batch.reserve(static_cast<std::size_t>(std::max<Count>(n, 0)));
+    for (Count i = 0; i < n; ++i) batch.push_back(next());
+    return batch;
+}
+
+EdgeEvent
+EdgeChurnStream::emitInsert()
+{
+    auto acceptable = [&](Index r, Index c) {
+        if (!params_.allowSelfLoops && r == c) return false;
+        return present_.find(packKey(r, c)) == present_.end();
+    };
+
+    Index row = -1, col = -1;
+    for (int a = 0; a < kPrefAttempts && row < 0; ++a) {
+        const Index c = preferentialColumn(rng_, edgeCols_, cols_);
+        const Index r = rng_.nextIndex(rows_);
+        if (acceptable(r, c)) { row = r; col = c; }
+    }
+    for (int a = 0; a < kUniformAttempts && row < 0; ++a) {
+        const Index r = rng_.nextIndex(rows_);
+        const Index c = rng_.nextIndex(cols_);
+        if (acceptable(r, c)) { row = r; col = c; }
+    }
+    if (row < 0) {
+        // Near-full matrix: deterministic linear probe from a random
+        // cell; fatal() only when genuinely no free slot remains.
+        const std::uint64_t total = static_cast<std::uint64_t>(rows_) *
+                                    static_cast<std::uint64_t>(cols_);
+        std::uint64_t start =
+            static_cast<std::uint64_t>(rng_.nextIndex(rows_)) *
+                static_cast<std::uint64_t>(cols_) +
+            static_cast<std::uint64_t>(rng_.nextIndex(cols_));
+        for (std::uint64_t k = 0; k < total && row < 0; ++k) {
+            const std::uint64_t cell = (start + k) % total;
+            const Index r = static_cast<Index>(
+                cell / static_cast<std::uint64_t>(cols_));
+            const Index c = static_cast<Index>(
+                cell % static_cast<std::uint64_t>(cols_));
+            if (acceptable(r, c)) { row = r; col = c; }
+        }
+        if (row < 0)
+            fatal("EdgeChurnStream: no free cell left to insert into");
+    }
+
+    edges_.push_back({row, col, time_});
+    edgeCols_.push_back(col);
+    present_.insert(packKey(row, col));
+    return {0, ChurnOp::Insert, row, col, Value(1)};
+}
+
+EdgeEvent
+EdgeChurnStream::emitDelete()
+{
+    const std::size_t n = edges_.size();
+    std::size_t idx;
+    if (rng_.nextBool(params_.agedFrac)) {
+        // Aged delete: tournament among sampled candidates, oldest wins.
+        idx = static_cast<std::size_t>(
+            rng_.nextIndex(static_cast<Index>(n)));
+        const std::size_t k = std::min(kAgedCandidates, n);
+        for (std::size_t a = 1; a < k; ++a) {
+            const std::size_t cand = static_cast<std::size_t>(
+                rng_.nextIndex(static_cast<Index>(n)));
+            const LiveEdge &x = edges_[cand];
+            const LiveEdge &y = edges_[idx];
+            if (std::make_tuple(x.born, x.row, x.col) <
+                std::make_tuple(y.born, y.row, y.col))
+                idx = cand;
+        }
+    } else {
+        idx = static_cast<std::size_t>(
+            rng_.nextIndex(static_cast<Index>(n)));
+    }
+    const LiveEdge e = edges_[idx];
+    removeEdgeAt(idx);
+    return {0, ChurnOp::Delete, e.row, e.col, Value(0)};
+}
+
+void
+EdgeChurnStream::removeEdgeAt(std::size_t idx)
+{
+    present_.erase(packKey(edges_[idx].row, edges_[idx].col));
+    edges_[idx] = edges_.back();
+    edges_.pop_back();
+    edgeCols_[idx] = edgeCols_.back();
+    edgeCols_.pop_back();
+}
+
+} // namespace awb::dynamic

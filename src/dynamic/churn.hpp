@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Timestamped edge-churn stream (DESIGN.md §12): a deterministic,
+ * splitmix64-seeded generator of insert/delete events against a live
+ * edge set, extending the synthetic-graph machinery of graph/generator.
+ *
+ * Inserts are preferential-attachment draws (the target column is the
+ * endpoint of a uniformly random live edge, i.e. degree-proportional —
+ * graph/generator.hpp's preferentialColumn), deletes pick a live edge
+ * either uniformly or aged (a deterministic tournament among sampled
+ * candidates favouring the oldest insertion timestamp), and the
+ * insert:delete mix is configurable. The stream owns all of its state
+ * (live-edge list, membership set, PCG32 generator), so the emitted
+ * event list is a pure function of (initial matrix, ChurnParams): it
+ * replays byte-identically at any thread count and regardless of
+ * whether events are drawn one at a time or in batches — the
+ * determinism contract tests/test_dynamic.cpp locks.
+ */
+
+#pragma once
+
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sparse/csc.hpp"
+
+namespace awb::dynamic {
+
+/** What one churn event does to the live edge set. */
+enum class ChurnOp
+{
+    Insert,  ///< add a new (row, col) edge; never a duplicate
+    Delete,  ///< remove a live (row, col) edge
+};
+
+/** One timestamped mutation of the adjacency. */
+struct EdgeEvent
+{
+    Count time = 0;   ///< strictly increasing per-stream event timestamp
+    ChurnOp op = ChurnOp::Insert;
+    Index row = 0;
+    Index col = 0;
+    Value val = 0;    ///< inserted value (1.0, pre-normalization); 0 for
+                      ///< deletes
+};
+
+inline bool
+operator==(const EdgeEvent &a, const EdgeEvent &b)
+{
+    return a.time == b.time && a.op == b.op && a.row == b.row &&
+           a.col == b.col && a.val == b.val;
+}
+
+/** Knobs of one churn stream. */
+struct ChurnParams
+{
+    double insertFrac = 0.5;  ///< probability an event is an insert
+    /** Probability a delete is "aged" (tournament-oldest) instead of
+     *  uniform over live edges. */
+    double agedFrac = 0.5;
+    bool allowSelfLoops = false;  ///< permit r == c inserts
+    std::uint64_t seed = 1;   ///< splitmix64-mixed into the PCG32 state
+};
+
+/**
+ * The stream. Construct from the initial adjacency, then draw events
+ * with next() / nextBatch(); each event is valid against the live edge
+ * set at its timestamp (inserts are never duplicates, deletes always
+ * name a live edge), so applying the events in order — singly or in
+ * batches — reconstructs the same matrix.
+ */
+class EdgeChurnStream
+{
+  public:
+    EdgeChurnStream(const CscMatrix &initial, const ChurnParams &params);
+
+    /** Draw the next event. When a delete is scheduled against an empty
+     *  edge set it degrades to an insert (the only valid mutation). */
+    EdgeEvent next();
+
+    /** Draw `n` events — exactly the sequence n next() calls produce. */
+    std::vector<EdgeEvent> nextBatch(Count n);
+
+    Count liveEdges() const { return static_cast<Count>(edges_.size()); }
+    Count emitted() const { return time_; }
+
+  private:
+    /** One live edge; `born` is the timestamp of its insertion (0 for
+     *  edges of the initial matrix) — what aged deletes key on. */
+    struct LiveEdge
+    {
+        Index row;
+        Index col;
+        Count born;
+    };
+
+    static std::uint64_t packKey(Index r, Index c)
+    {
+        return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(r))
+                << 32U) |
+               static_cast<std::uint32_t>(c);
+    }
+
+    EdgeEvent emitInsert();
+    EdgeEvent emitDelete();
+    void removeEdgeAt(std::size_t idx);
+
+    ChurnParams params_;
+    Rng rng_;
+    Index rows_ = 0;
+    Index cols_ = 0;
+    Count time_ = 0;
+    std::vector<LiveEdge> edges_;
+    /** Column endpoints aligned with edges_ (swap-removed in lockstep);
+     *  the degree-proportional sample space of preferentialColumn. */
+    std::vector<Index> edgeCols_;
+    std::unordered_set<std::uint64_t> present_;
+};
+
+} // namespace awb::dynamic

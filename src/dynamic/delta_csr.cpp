@@ -1,0 +1,217 @@
+#include "dynamic/delta_csr.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+#include "sparse/convert.hpp"
+
+namespace awb::dynamic {
+
+namespace {
+
+/** Minimum capacity granted to a row on its first relocation. */
+constexpr Count kMinRowCap = 4;
+
+} // namespace
+
+DeltaCsr::DeltaCsr(const CsrMatrix &a)
+{
+    seed(a.rows(), a.cols(), a.rowPtr(), a.colId(), a.val());
+}
+
+DeltaCsr::DeltaCsr(const CscMatrix &a)
+{
+    const CsrMatrix r = cscToCsr(a);
+    seed(r.rows(), r.cols(), r.rowPtr(), r.colId(), r.val());
+}
+
+void
+DeltaCsr::seed(Index rows, Index cols, const std::vector<Count> &row_ptr,
+               const std::vector<Index> &col_id,
+               const std::vector<Value> &val)
+{
+    rows_ = rows;
+    cols_ = cols;
+    nnz_ = static_cast<Count>(col_id.size());
+    colId_ = col_id;
+    val_ = val;
+    start_.assign(static_cast<std::size_t>(rows), 0);
+    len_.assign(static_cast<std::size_t>(rows), 0);
+    cap_.assign(static_cast<std::size_t>(rows), 0);
+    for (Index r = 0; r < rows; ++r) {
+        const std::size_t i = static_cast<std::size_t>(r);
+        start_[i] = row_ptr[i];
+        len_[i] = row_ptr[i + 1] - row_ptr[i];
+        cap_[i] = len_[i];
+    }
+}
+
+Count
+DeltaCsr::findSlot(Index r, Index c) const
+{
+    const std::size_t i = static_cast<std::size_t>(r);
+    const auto first = colId_.begin() + start_[i];
+    const auto last = first + len_[i];
+    return start_[i] + (std::lower_bound(first, last, c) - first);
+}
+
+bool
+DeltaCsr::insert(Index r, Index c, Value v)
+{
+    if (r < 0 || r >= rows_ || c < 0 || c >= cols_)
+        fatal("DeltaCsr::insert: coordinate out of range");
+    const std::size_t i = static_cast<std::size_t>(r);
+    Count pos = findSlot(r, c);
+    if (pos < start_[i] + len_[i] &&
+        colId_[static_cast<std::size_t>(pos)] == c) {
+        ++stats_.rejected;
+        return false;
+    }
+    if (len_[i] == cap_[i]) {
+        relocate(r, len_[i] + 1);
+        pos = findSlot(r, c);
+    }
+    // Shift the tail of the live prefix one slot right, then drop the
+    // new entry into the gap; the row stays sorted by construction.
+    const Count end = start_[i] + len_[i];
+    for (Count p = end; p > pos; --p) {
+        colId_[static_cast<std::size_t>(p)] =
+            colId_[static_cast<std::size_t>(p - 1)];
+        val_[static_cast<std::size_t>(p)] =
+            val_[static_cast<std::size_t>(p - 1)];
+    }
+    colId_[static_cast<std::size_t>(pos)] = c;
+    val_[static_cast<std::size_t>(pos)] = v;
+    ++len_[i];
+    ++nnz_;
+    ++stats_.inserts;
+    return true;
+}
+
+bool
+DeltaCsr::erase(Index r, Index c)
+{
+    if (r < 0 || r >= rows_ || c < 0 || c >= cols_)
+        fatal("DeltaCsr::erase: coordinate out of range");
+    const std::size_t i = static_cast<std::size_t>(r);
+    const Count pos = findSlot(r, c);
+    const Count end = start_[i] + len_[i];
+    if (pos >= end || colId_[static_cast<std::size_t>(pos)] != c) {
+        ++stats_.rejected;
+        return false;
+    }
+    for (Count p = pos; p + 1 < end; ++p) {
+        colId_[static_cast<std::size_t>(p)] =
+            colId_[static_cast<std::size_t>(p + 1)];
+        val_[static_cast<std::size_t>(p)] =
+            val_[static_cast<std::size_t>(p + 1)];
+    }
+    --len_[i];
+    --nnz_;
+    ++stats_.deletes;
+    // The vacated slot stays as slack for the next insert; compaction
+    // reclaims it once dead+slack slots outnumber live non-zeros.
+    if (static_cast<Count>(colId_.size()) > 2 * nnz_ &&
+        static_cast<Count>(colId_.size()) > 64)
+        compact();
+    return true;
+}
+
+Count
+DeltaCsr::apply(const std::vector<EdgeEvent> &batch)
+{
+    Count applied = 0;
+    for (const EdgeEvent &ev : batch) {
+        const bool ok = ev.op == ChurnOp::Insert
+                            ? insert(ev.row, ev.col, ev.val)
+                            : erase(ev.row, ev.col);
+        if (ok) ++applied;
+    }
+    return applied;
+}
+
+void
+DeltaCsr::relocate(Index r, Count need)
+{
+    const std::size_t i = static_cast<std::size_t>(r);
+    const Count new_cap = std::max({kMinRowCap, need, 2 * len_[i]});
+    const Count new_start = static_cast<Count>(colId_.size());
+    colId_.resize(static_cast<std::size_t>(new_start + new_cap), 0);
+    val_.resize(static_cast<std::size_t>(new_start + new_cap), Value(0));
+    for (Count p = 0; p < len_[i]; ++p) {
+        colId_[static_cast<std::size_t>(new_start + p)] =
+            colId_[static_cast<std::size_t>(start_[i] + p)];
+        val_[static_cast<std::size_t>(new_start + p)] =
+            val_[static_cast<std::size_t>(start_[i] + p)];
+    }
+    start_[i] = new_start;
+    cap_[i] = new_cap;
+    ++stats_.relocations;
+    // No compaction here: the caller is mid-insert and relies on this
+    // row keeping its freshly granted slack. Dead holes left behind are
+    // bounded by the doubling schedule (the arena never exceeds a small
+    // multiple of the live size) and reclaimed by the erase-path
+    // compaction.
+}
+
+void
+DeltaCsr::compact()
+{
+    std::vector<Index> col_id(static_cast<std::size_t>(nnz_));
+    std::vector<Value> val(static_cast<std::size_t>(nnz_));
+    Count out = 0;
+    for (Index r = 0; r < rows_; ++r) {
+        const std::size_t i = static_cast<std::size_t>(r);
+        for (Count p = 0; p < len_[i]; ++p) {
+            col_id[static_cast<std::size_t>(out + p)] =
+                colId_[static_cast<std::size_t>(start_[i] + p)];
+            val[static_cast<std::size_t>(out + p)] =
+                val_[static_cast<std::size_t>(start_[i] + p)];
+        }
+        start_[i] = out;
+        cap_[i] = len_[i];
+        out += len_[i];
+    }
+    colId_ = std::move(col_id);
+    val_ = std::move(val);
+    ++stats_.compactions;
+}
+
+CsrMatrix
+DeltaCsr::toCsr() const
+{
+    std::vector<Count> row_ptr(static_cast<std::size_t>(rows_) + 1, 0);
+    std::vector<Index> col_id(static_cast<std::size_t>(nnz_));
+    std::vector<Value> val(static_cast<std::size_t>(nnz_));
+    Count out = 0;
+    for (Index r = 0; r < rows_; ++r) {
+        const std::size_t i = static_cast<std::size_t>(r);
+        row_ptr[i] = out;
+        for (Count p = 0; p < len_[i]; ++p) {
+            col_id[static_cast<std::size_t>(out + p)] =
+                colId_[static_cast<std::size_t>(start_[i] + p)];
+            val[static_cast<std::size_t>(out + p)] =
+                val_[static_cast<std::size_t>(start_[i] + p)];
+        }
+        out += len_[i];
+    }
+    row_ptr[static_cast<std::size_t>(rows_)] = out;
+    return CsrMatrix::fromParts(rows_, cols_, std::move(row_ptr),
+                                std::move(col_id), std::move(val));
+}
+
+CscMatrix
+DeltaCsr::toCsc() const
+{
+    return csrToCsc(toCsr());
+}
+
+double
+DeltaCsr::slackRatio() const
+{
+    if (colId_.empty()) return 0.0;
+    return 1.0 - static_cast<double>(nnz_) /
+                     static_cast<double>(colId_.size());
+}
+
+} // namespace awb::dynamic

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Incremental CSR/CSC updater with a slack-slot row layout
+ * (DESIGN.md §12). Rows live in one shared arena with per-row
+ * (start, len, cap) bookkeeping; within a row the column ids stay
+ * sorted, so a point insert is a binary search plus an in-row shift.
+ * A row that outgrows its capacity relocates to the arena tail with
+ * doubled capacity (classic amortized growth), leaving a dead hole
+ * behind; once dead+slack slots outnumber live non-zeros the whole
+ * arena is compacted in row order.
+ *
+ * Rebuild equivalence: because each row's live prefix is always the
+ * sorted (colId, val) sequence of its edges and values are only ever
+ * copied (never recomputed), concatenating the rows yields *the* CSR
+ * form a from-scratch CsrMatrix::fromCoo build of the live edge set
+ * produces — bit-identical arrays, locked by tests/test_dynamic.cpp
+ * after every churn batch.
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "dynamic/churn.hpp"
+#include "sparse/csc.hpp"
+#include "sparse/csr.hpp"
+
+namespace awb::dynamic {
+
+/** Counters of one DeltaCsr's mutation history (introspection). */
+struct DeltaCsrStats
+{
+    Count inserts = 0;      ///< accepted inserts
+    Count deletes = 0;      ///< accepted deletes
+    Count rejected = 0;     ///< duplicate inserts / absent deletes
+    Count relocations = 0;  ///< rows moved to the arena tail to grow
+    Count compactions = 0;  ///< whole-arena rebuilds
+};
+
+/** The updatable matrix. */
+class DeltaCsr
+{
+  public:
+    DeltaCsr() = default;
+
+    /** Seed from an existing matrix (rows packed with zero slack). */
+    explicit DeltaCsr(const CsrMatrix &a);
+    explicit DeltaCsr(const CscMatrix &a);
+
+    Index rows() const { return rows_; }
+    Index cols() const { return cols_; }
+    Count nnz() const { return nnz_; }
+
+    /** Insert (r, c) = v. Returns false — and changes nothing — when
+     *  the coordinate is already present (duplicate rejection). */
+    bool insert(Index r, Index c, Value v);
+
+    /** Remove (r, c). Returns false when the coordinate is absent. */
+    bool erase(Index r, Index c);
+
+    /** Apply a churn batch in timestamp order; returns accepted events.
+     *  Inserts of present coordinates and deletes of absent ones are
+     *  counted in stats().rejected, not applied. */
+    Count apply(const std::vector<EdgeEvent> &batch);
+
+    /** Per-row non-zero counts — the live row-work vector the policy
+     *  layer consumes; maintained incrementally, O(1) to read. */
+    const std::vector<Count> &rowNnz() const { return len_; }
+
+    /** Snapshot as CSR — bit-identical to CsrMatrix::fromCoo over the
+     *  live edge set. */
+    CsrMatrix toCsr() const;
+
+    /** Snapshot as CSC — bit-identical to csrToCsc(toCsr()). */
+    CscMatrix toCsc() const;
+
+    /** Fraction of arena slots that are dead or slack (0 when packed). */
+    double slackRatio() const;
+
+    const DeltaCsrStats &stats() const { return stats_; }
+
+  private:
+    void seed(Index rows, Index cols, const std::vector<Count> &row_ptr,
+              const std::vector<Index> &col_id,
+              const std::vector<Value> &val);
+    /** Position of c within row r's live prefix (lower bound). */
+    Count findSlot(Index r, Index c) const;
+    /** Relocate row r to the arena tail with capacity >= need. */
+    void relocate(Index r, Count need);
+    /** Pack every row contiguously, capacity == length. */
+    void compact();
+
+    Index rows_ = 0;
+    Index cols_ = 0;
+    Count nnz_ = 0;
+    std::vector<Index> colId_;  ///< arena: column ids
+    std::vector<Value> val_;    ///< arena: values, aligned with colId_
+    std::vector<Count> start_;  ///< per-row arena offset
+    std::vector<Count> len_;    ///< per-row live non-zeros
+    std::vector<Count> cap_;    ///< per-row capacity (len <= cap)
+    DeltaCsrStats stats_;
+};
+
+} // namespace awb::dynamic

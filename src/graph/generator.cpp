@@ -83,6 +83,16 @@ adjacencyFromDegrees(Rng &rng, Index nodes, const std::vector<Count> &degrees)
     return m;
 }
 
+Index
+preferentialColumn(Rng &rng, const std::vector<Index> &endpoint_cols,
+                   Index num_cols)
+{
+    if (num_cols <= 0) fatal("preferentialColumn: num_cols must be > 0");
+    if (endpoint_cols.empty()) return rng.nextIndex(num_cols);
+    return endpoint_cols[static_cast<std::size_t>(
+        rng.nextIndex(static_cast<Index>(endpoint_cols.size())))];
+}
+
 CooMatrix
 synthesizeAdjacency(Rng &rng, const GraphGenParams &params)
 {

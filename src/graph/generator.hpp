@@ -57,4 +57,19 @@ CooMatrix synthesizeAdjacency(Rng &rng, const GraphGenParams &params);
 CooMatrix adjacencyFromDegrees(Rng &rng, Index nodes,
                                const std::vector<Count> &degrees);
 
+/**
+ * Degree-proportional column sampling via edge-endpoint draw: picking
+ * the column endpoint of a uniformly random live edge selects column c
+ * with probability deg(c)/|E| — the same "rich get richer" mechanism
+ * the power-law degree synthesis above models, here applied online.
+ * Used by the preferential-attachment inserts of the edge-churn stream
+ * (dynamic/churn.hpp, DESIGN.md §12). Falls back to a uniform column
+ * when no edges exist yet.
+ *
+ * @param endpoint_cols  column endpoints of every live edge
+ * @param num_cols       matrix column count (uniform fallback range)
+ */
+Index preferentialColumn(Rng &rng, const std::vector<Index> &endpoint_cols,
+                         Index num_cols);
+
 } // namespace awb

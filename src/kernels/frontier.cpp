@@ -74,6 +74,17 @@ FrontierRunner::FrontierRunner(const AccelConfig &cfg, const CscMatrix &a)
     }
 }
 
+void
+FrontierRunner::setOperand(const CscMatrix &a)
+{
+    if (cfg_.chips > 1)
+        fatal("FrontierRunner::setOperand: unsupported on sharded runs "
+              "— churn invalidates static shard boundaries");
+    if (a.rows() != rows_ || a.cols() != a_.cols())
+        fatal("FrontierRunner::setOperand: operand shape must match");
+    a_ = a;
+}
+
 CscMatrix
 FrontierRunner::step(const CscMatrix &x)
 {

@@ -58,9 +58,16 @@ readMatrixMarket(std::istream &in)
 
     std::istringstream size(line);
     long rows = 0, cols = 0, nnz = 0;
-    size >> rows >> cols >> nnz;
-    if (rows <= 0 || cols <= 0 || nnz < 0)
+    // Zero-dimension and zero-nnz matrices are within the format (and
+    // are what writeMatrixMarket emits for them) — only negative sizes
+    // and unparseable lines are errors. The explicit stream check
+    // matters: a failed extraction leaves zeros, which are now legal.
+    if (!(size >> rows >> cols >> nnz) || rows < 0 || cols < 0 ||
+        nnz < 0)
         fatal("MatrixMarket: bad size line '" + line + "'");
+    if (nnz > 0 && (rows == 0 || cols == 0))
+        fatal("MatrixMarket: entries in a zero-dimension matrix: '" +
+              line + "'");
 
     CooMatrix m(static_cast<Index>(rows), static_cast<Index>(cols));
     for (long e = 0; e < nnz; ++e) {

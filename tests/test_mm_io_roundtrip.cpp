@@ -255,3 +255,89 @@ TEST(MmIoRoundTrip, SampleSurvivesCrlfRewrite)
     CooMatrix back = readMatrixMarket(in);
     expectSameStructure(orig, back);
 }
+
+// ------------------------------------- degenerate sizes (reader bugfix)
+
+// The writer emits "0 0 0"-style size lines for empty and
+// zero-dimension matrices; the reader historically rejected any
+// rows/cols of zero as a "bad size line", breaking its own writer's
+// output. Degenerate shapes must round-trip like any other matrix.
+TEST(MmIoDegenerate, ZeroNnzAndZeroDimensionMatricesRoundTrip)
+{
+    const struct
+    {
+        Index rows;
+        Index cols;
+    } shapes[] = {{0, 0}, {0, 5}, {5, 0}, {5, 5}, {1, 8}, {8, 1}};
+
+    for (const auto &s : shapes) {
+        SCOPED_TRACE(std::to_string(s.rows) + "x" +
+                     std::to_string(s.cols));
+        CooMatrix empty(s.rows, s.cols);
+        std::ostringstream out;
+        writeMatrixMarket(out, empty);
+        std::istringstream in(out.str());
+        CooMatrix trip = readMatrixMarket(in);
+        EXPECT_EQ(trip.rows(), s.rows);
+        EXPECT_EQ(trip.cols(), s.cols);
+        EXPECT_EQ(trip.nnz(), 0);
+    }
+}
+
+TEST(MmIoDegenerate, SingleRowAndSingleColumnMatricesRoundTrip)
+{
+    // 1×N: every entry lives in row 1 of the one-based format.
+    CooMatrix wide(1, 9);
+    wide.add(0, 0, 2.5f);
+    wide.add(0, 4, -1.25f);
+    wide.add(0, 8, 0.5f);
+    wide.canonicalize();
+    std::ostringstream wout;
+    writeMatrixMarket(wout, wide);
+    std::istringstream win(wout.str());
+    CooMatrix wtrip = readMatrixMarket(win);
+    ASSERT_EQ(wtrip.rows(), 1);
+    ASSERT_EQ(wtrip.cols(), 9);
+    ASSERT_EQ(wtrip.nnz(), 3);
+    for (std::size_t i = 0; i < wide.entries().size(); ++i) {
+        EXPECT_EQ(wide.entries()[i].col, wtrip.entries()[i].col);
+        EXPECT_EQ(wide.entries()[i].val, wtrip.entries()[i].val);
+    }
+
+    // N×1, and its CSR/CSC conversions behave on the degenerate shape.
+    CooMatrix tall(9, 1);
+    tall.add(2, 0, 1.0f);
+    tall.add(7, 0, -3.0f);
+    tall.canonicalize();
+    std::ostringstream tout;
+    writeMatrixMarket(tout, tall);
+    std::istringstream tin(tout.str());
+    CooMatrix ttrip = readMatrixMarket(tin);
+    ASSERT_EQ(ttrip.nnz(), 2);
+    CscMatrix csc = CscMatrix::fromCoo(ttrip);
+    EXPECT_EQ(csc.cols(), 1);
+    EXPECT_EQ(csc.colNnz(0), 2);
+    CsrMatrix csr = cscToCsr(csc);
+    EXPECT_EQ(csr.rowNnz(2), 1);
+    EXPECT_EQ(csr.rowNnz(7), 1);
+}
+
+TEST(MmIoDegenerateDeath, NegativeGarbageAndImpossibleSizesStillFatal)
+{
+    auto read = [](const std::string &body) {
+        std::istringstream in(
+            "%%MatrixMarket matrix coordinate real general\n" + body);
+        readMatrixMarket(in);
+    };
+    EXPECT_EXIT(read("-1 4 0\n"), ::testing::ExitedWithCode(1),
+                "bad size line");
+    EXPECT_EXIT(read("4 -1 0\n"), ::testing::ExitedWithCode(1),
+                "bad size line");
+    EXPECT_EXIT(read("4 4 -2\n"), ::testing::ExitedWithCode(1),
+                "bad size line");
+    EXPECT_EXIT(read("pigeon\n"), ::testing::ExitedWithCode(1),
+                "bad size line");
+    // nnz > 0 cannot fit in a zero-dimension matrix.
+    EXPECT_EXIT(read("0 0 1\n1 1 1.0\n"),
+                ::testing::ExitedWithCode(1), "zero-dimension");
+}

@@ -506,3 +506,123 @@ TEST(NewPolicies, RunEndToEndThroughTheSweepInBothFidelities)
         }
     }
 }
+
+// --------------------------------------------- churn-safety properties
+
+TEST(PolicyRegistry, DynamicExtensionPoliciesAreRegistered)
+{
+    auto &reg = PolicyRegistry::instance();
+    for (const char *name :
+         {"delta-greedy", "delta-threshold", "rescratch"}) {
+        const BalancePolicy *p = reg.find(name);
+        ASSERT_NE(p, nullptr) << name;
+        EXPECT_FALSE(p->description.empty());
+        EXPECT_TRUE(p->rebalance != nullptr) << name;
+    }
+    EXPECT_EQ(reg.get("dgreedy").name, "delta-greedy");
+    EXPECT_EQ(reg.get("dthresh").name, "delta-threshold");
+    EXPECT_EQ(reg.get("scratch").name, "rescratch");
+}
+
+/**
+ * Streaming safety (DESIGN.md §12): every registered policy must keep
+ * the partition consistent — and conserve the workload total — when
+ * the per-row work vector changes between observations, which is
+ * exactly what churn does to the row-nnz profile. Static-workload
+ * policies may ignore the deltas; none may corrupt the row map.
+ */
+TEST(PolicyChurnSafety, EveryPolicySurvivesChangingRowWork)
+{
+    const Index rows = 120;
+    const int pes = 16;
+
+    for (const BalancePolicy *spec : PolicyRegistry::instance().all()) {
+        // Skip policies other test cases register dynamically; they
+        // need not carry full configure/partition hooks.
+        if (spec->name.rfind("test-", 0) == 0) continue;
+        SCOPED_TRACE("policy " + spec->name);
+
+        AccelConfig cfg = makePolicyConfig(spec->name, pes);
+        Rng rng(0xd15ea5e);
+        std::vector<Count> work(static_cast<std::size_t>(rows));
+        for (auto &w : work) w = 1 + rng.nextIndex(30);
+
+        RowPartition part =
+            makePartitionPolicy(cfg)->build(rows, work, cfg);
+        auto policy = makeRebalancePolicy(cfg, rows);
+        ASSERT_TRUE(part.consistent());
+
+        const Index hub = 7;
+        for (int round = 0; round < 24; ++round) {
+            SCOPED_TRACE("round " + std::to_string(round));
+            // Churn-like mutation: a fattening hub row, random point
+            // changes, and occasional whole-row deletions.
+            work[hub] += 25;
+            for (int k = 0; k < 8; ++k) {
+                const auto r =
+                    static_cast<std::size_t>(rng.nextIndex(rows));
+                work[r] = rng.nextBool(0.2) ? 0 : 1 + rng.nextIndex(40);
+            }
+            const Count total =
+                std::accumulate(work.begin(), work.end(), Count(0));
+
+            RoundObservation obs;
+            obs.peWork = part.workload(work);
+            obs.drainCycle.assign(obs.peWork.begin(),
+                                  obs.peWork.end());
+            const int moved = policy->observeAndAdjust(obs, work, part);
+
+            ASSERT_GE(moved, 0);
+            ASSERT_TRUE(part.consistent());
+            auto pw = part.workload(work);
+            ASSERT_EQ(std::accumulate(pw.begin(), pw.end(), Count(0)),
+                      total);
+            ASSERT_GE(policy->totalRowsMoved(), 0);
+        }
+    }
+}
+
+TEST(PolicyChurnSafety, DeltaPoliciesReactOnlyToDeltas)
+{
+    const Index rows = 64;
+    const int pes = 8;
+    AccelConfig cfg = makePolicyConfig("delta-greedy", pes);
+    std::vector<Count> work(static_cast<std::size_t>(rows), 10);
+
+    RowPartition part = makePartitionPolicy(cfg)->build(rows, work, cfg);
+    auto policy = makeRebalancePolicy(cfg, rows);
+
+    auto observe = [&]() {
+        RoundObservation obs;
+        obs.peWork = part.workload(work);
+        obs.drainCycle.assign(obs.peWork.begin(), obs.peWork.end());
+        return policy->observeAndAdjust(obs, work, part);
+    };
+
+    EXPECT_EQ(observe(), 0);  // first observation only snapshots
+    EXPECT_EQ(observe(), 0);  // no delta, nothing to react to
+
+    // Fatten every row one PE owns: the policy sees the changed rows
+    // and sheds work off the hot PE.
+    const std::vector<Index> hot_rows = part.rowsOf(0);
+    ASSERT_FALSE(hot_rows.empty());
+    for (Index r : hot_rows) work[static_cast<std::size_t>(r)] += 200;
+    EXPECT_GT(observe(), 0);
+    EXPECT_TRUE(part.consistent());
+
+    // rescratch rebuilds equal-work chunks from any skew, then goes
+    // idle once the map is its own fixed point.
+    AccelConfig rcfg = makePolicyConfig("rescratch", pes);
+    RowPartition rpart =
+        makePartitionPolicy(rcfg)->build(rows, work, rcfg);
+    auto rescratch = makeRebalancePolicy(rcfg, rows);
+    RoundObservation obs;
+    obs.peWork = rpart.workload(work);
+    obs.drainCycle.assign(obs.peWork.begin(), obs.peWork.end());
+    const int first = rescratch->observeAndAdjust(obs, work, rpart);
+    EXPECT_GT(first, 0);
+    obs.peWork = rpart.workload(work);
+    obs.drainCycle.assign(obs.peWork.begin(), obs.peWork.end());
+    EXPECT_EQ(rescratch->observeAndAdjust(obs, work, rpart), 0);
+    EXPECT_TRUE(rpart.consistent());
+}

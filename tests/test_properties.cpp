@@ -8,18 +8,24 @@
  *    distribution-path knob (queue counts/depths, scan width, inject
  *    width, network speedup/buffers, MAC latency);
  *  - water-filling monotonicity and bounds;
- *  - workload conservation under arbitrary remote-switching sequences.
+ *  - workload conservation under arbitrary remote-switching sequences;
+ *  - randomized CSR/CSC churn mutation: structural invariants and
+ *    dense-equality of the DeltaCsr against an incrementally maintained
+ *    reference across seeds and insert:delete mixes (DESIGN.md §12).
  */
 
 #include <gtest/gtest.h>
 
 #include <numeric>
+#include <string>
 
 #include "accel/omega.hpp"
 #include "accel/perf_model.hpp"
 #include "accel/rebalance.hpp"
 #include "accel/spmm_engine.hpp"
 #include "common/rng.hpp"
+#include "dynamic/churn.hpp"
+#include "dynamic/delta_csr.hpp"
 #include "graph/datasets.hpp"
 #include "graph/degree_dist.hpp"
 #include "sparse/convert.hpp"
@@ -220,6 +226,93 @@ TEST(RemoteSwitchProperty, NeverIncreasesMaxLoadAfterConvergence)
     }
     EXPECT_LE(max_load(), initial);
 }
+
+/**
+ * Streaming churn mutation (DESIGN.md §12): drive randomized
+ * insert/delete batches through a DeltaCsr and check, after every
+ * batch, the invariants a from-scratch build would enjoy — nnz
+ * conservation against the accepted-event count, monotone row pointers,
+ * sorted in-range column ids, structural validity of both snapshot
+ * formats, and element-exact dense equality with an incrementally
+ * maintained reference matrix. Parameterized over seeds; the seed is
+ * logged so a failure replays deterministically.
+ */
+class ChurnMutationProperty
+    : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(ChurnMutationProperty, InvariantsSurviveRandomChurn)
+{
+    const std::uint64_t seed = GetParam();
+    SCOPED_TRACE("churn seed " + std::to_string(seed));
+
+    Rng rng(seed, 0xc0ffee);
+    const Index n = 80;
+    CooMatrix coo(n, n);
+    for (Index i = 0; i < n; ++i)
+        for (Index j = 0; j < n; ++j)
+            if (rng.nextBool(0.06)) coo.add(i, j, rng.nextFloat(-1, 1));
+    coo.canonicalize();
+    const CscMatrix a = CscMatrix::fromCoo(coo);
+
+    dynamic::ChurnParams params;
+    params.seed = seed;
+    // Sweep the mix with the seed: delete-heavy through insert-heavy.
+    params.insertFrac = 0.2 + 0.1 * static_cast<double>(seed % 7);
+    dynamic::EdgeChurnStream stream(a, params);
+    dynamic::DeltaCsr delta(a);
+    DenseMatrix ref = cscToDense(a);
+
+    Count live = a.nnz();
+    for (int batch = 0; batch < 10; ++batch) {
+        SCOPED_TRACE("batch " + std::to_string(batch));
+        const std::vector<dynamic::EdgeEvent> events =
+            stream.nextBatch(60);
+        for (const dynamic::EdgeEvent &e : events) {
+            if (e.op == dynamic::ChurnOp::Insert) {
+                ref.at(e.row, e.col) = e.val;
+                ++live;
+            } else {
+                ref.at(e.row, e.col) = Value(0);
+                --live;
+            }
+        }
+        ASSERT_EQ(delta.apply(events),
+                  static_cast<Count>(events.size()));
+
+        // nnz conservation: accepted inserts minus accepted deletes.
+        ASSERT_EQ(delta.nnz(), live);
+
+        const CsrMatrix csr = delta.toCsr();
+        ASSERT_TRUE(csr.valid());
+        for (Index r = 0; r < csr.rows(); ++r) {
+            const Count lo = csr.rowPtr()[static_cast<std::size_t>(r)];
+            const Count hi =
+                csr.rowPtr()[static_cast<std::size_t>(r) + 1];
+            ASSERT_LE(lo, hi);
+            for (Count k = lo; k < hi; ++k) {
+                const Index c =
+                    csr.colId()[static_cast<std::size_t>(k)];
+                ASSERT_GE(c, 0);
+                ASSERT_LT(c, csr.cols());
+                if (k > lo) {
+                    // Strictly sorted within the row.
+                    ASSERT_LT(
+                        csr.colId()[static_cast<std::size_t>(k) - 1],
+                        c);
+                }
+            }
+        }
+
+        const CscMatrix csc = delta.toCsc();
+        ASSERT_TRUE(csc.valid());
+        // Element-exact: values are only ever copied, never recomputed.
+        ASSERT_EQ(cscToDense(csc).maxAbsDiff(ref), 0.0);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChurnMutationProperty,
+                         ::testing::Values(1, 2, 3, 17, 42, 99, 1234));
 
 TEST(ProfileVsDataset, WorkloadTotalsAgreeAcrossScales)
 {

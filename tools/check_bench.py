@@ -2,10 +2,11 @@
 """Bench-regression gate: diff freshly generated bench JSON documents
 against the baselines tracked in the repository.
 
-The tracked baselines (BENCH_engine.json, BENCH_memory.json,
-BENCH_scaleout.json, BENCH_serving.json, BENCH_spgemm.json) pin the
-simulator's *model outputs* — cycle counts, traffic bytes, round counts,
-convergence, frontier curves and rebalance verdicts — which are
+The tracked baselines (BENCH_dynamic.json, BENCH_engine.json,
+BENCH_memory.json, BENCH_scaleout.json, BENCH_serving.json,
+BENCH_spgemm.json) pin the simulator's *model outputs* — cycle counts,
+traffic bytes, round counts, convergence, drift curves, half-life
+epochs, frontier curves and rebalance verdicts — which are
 deterministic functions of the seed and must never drift silently. Host-dependent
 measurements (any key containing ``wall_ms`` or ``speedup``, and the
 derived ``largest_paired_config`` summary built from them) are reported
@@ -215,6 +216,77 @@ def self_test():
         failures.append("spgemm wall-clock drift treated as regression")
     if not drift:
         failures.append("spgemm wall-clock drift not advisory")
+
+    # awbsim-bench-dynamic-v1: drift curves, half-life epochs and the
+    # four streaming gates are model fields (blocking); wall_ms stays
+    # advisory.
+    dynamic = {
+        "schema": "awbsim-bench-dynamic-v1",
+        "pes": 256,
+        "seed": 1,
+        "points": [
+            {
+                "dataset": "cora",
+                "policy": "work-steal",
+                "cycles": 16000,
+                "rows_moved": 0,
+                "half_life_epochs": 5,
+                "drift": [0.01, 0.05, 0.12],
+                "epoch_cycles": [1600, 1610, 1700],
+                "fresh_cycles": [1590, 1530, 1510],
+                "wall_ms": 3210.5,
+            }
+        ],
+        "summary": {
+            "deterministic": True,
+            "engines_identical": True,
+            "rebuild_identical": True,
+            "trajectory_ok": True,
+            "half_life": {"cora": {"work-steal": 5}},
+        },
+    }
+
+    def dynamic_verdict(fresh):
+        blocking, advisory = [], []
+        diff(dynamic, fresh, "", blocking, advisory)
+        return bool(blocking), bool(advisory)
+
+    bad, _ = dynamic_verdict(copy.deepcopy(dynamic))
+    if bad:
+        failures.append("identical dynamic documents flagged")
+
+    p = copy.deepcopy(dynamic)
+    p["points"][0]["half_life_epochs"] = -1
+    p["summary"]["half_life"]["cora"]["work-steal"] = -1
+    bad, _ = dynamic_verdict(p)
+    if not bad:
+        failures.append("perturbed half-life not caught")
+
+    p = copy.deepcopy(dynamic)
+    p["points"][0]["drift"][2] = 0.09
+    bad, _ = dynamic_verdict(p)
+    if not bad:
+        failures.append("perturbed drift curve not caught")
+
+    p = copy.deepcopy(dynamic)
+    p["points"][0]["fresh_cycles"][1] += 1
+    bad, _ = dynamic_verdict(p)
+    if not bad:
+        failures.append("perturbed fresh-cycle curve not caught")
+
+    p = copy.deepcopy(dynamic)
+    p["summary"]["rebuild_identical"] = False
+    bad, _ = dynamic_verdict(p)
+    if not bad:
+        failures.append("flipped rebuild-identity gate not caught")
+
+    p = copy.deepcopy(dynamic)
+    p["points"][0]["wall_ms"] = 1e6
+    bad, drift = dynamic_verdict(p)
+    if bad:
+        failures.append("dynamic wall-clock drift treated as regression")
+    if not drift:
+        failures.append("dynamic wall-clock drift not advisory")
 
     for f in failures:
         print(f"SELF-TEST FAIL: {f}")
