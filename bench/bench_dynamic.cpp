@@ -21,6 +21,7 @@
 #include "driver/json.hpp"
 #include "driver/scenario.hpp"
 #include "dynamic/dynamic_runner.hpp"
+#include "exec/workload_cache.hpp"
 #include "graph/datasets.hpp"
 #include "sparse/coo.hpp"
 #include "sparse/convert.hpp"
@@ -171,8 +172,8 @@ runBenchDynamic(const BenchDynamicOptions &opts)
              "end drift", "half-life"});
     for (const auto &dataset : opts.datasets) {
         const DatasetSpec &spec = findDataset(dataset);
-        const CscMatrix a =
-            loadSyntheticAdjacency(spec, opts.seed, opts.scale);
+        const auto a_p = exec::cachedAdjacency(spec, opts.seed, opts.scale);
+        const CscMatrix &a = *a_p;
 
         // Gate 3: the incremental matrix equals a from-scratch rebuild
         // after every batch (policy-independent, once per dataset).

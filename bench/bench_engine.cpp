@@ -9,21 +9,18 @@
 
 #include "driver/bench_engine.hpp"
 
-#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <optional>
 
 #include "accel/policy.hpp"
-#include "accel/spmm_engine.hpp"
 #include "common/log.hpp"
-#include "common/rng.hpp"
 #include "common/table.hpp"
 #include "driver/json.hpp"
 #include "driver/scenario.hpp"
+#include "exec/run.hpp"
+#include "exec/workload_cache.hpp"
 #include "graph/datasets.hpp"
-#include "sparse/csc.hpp"
-#include "sparse/dense.hpp"
 
 namespace awb::driver {
 
@@ -55,51 +52,55 @@ struct BenchPoint
     double speedup = 0.0;   ///< event wall / batched wall (0 if no event)
 };
 
+/** One TDQ-2 engine run through the execution core (exec/run.hpp): the
+ *  core's wallMs times only the engine execution, exactly what this
+ *  bench has always measured (synthesis, the B fill and the partition
+ *  build stay outside the clock). */
 EngineRun
-runOnce(const AccelConfig &cfg, const CscMatrix &adj, const DenseMatrix &b)
+runOnce(const std::string &dataset, int pes, const std::string &policy,
+        EngineKind engine, const BenchEngineOptions &opts)
 {
-    RowPartition part =
-        makePartitionPolicy(cfg)->build(adj.rows(), adj.rowNnz(), cfg);
-    auto t0 = std::chrono::steady_clock::now();
-    SpmmResult r =
-        SpmmEngine(cfg).execute(adj, b, TdqKind::Tdq2OmegaCsc, part);
-    auto t1 = std::chrono::steady_clock::now();
+    exec::RunRequest req;
+    req.dataset = dataset;
+    req.policy = policy;
+    req.pes = pes;
+    req.mode = exec::Mode::SpmmTdq2;
+    req.engine = engine;
+    req.seed = opts.seed;
+    req.scale = opts.scale;
+    req.denseCols = opts.k;
+    exec::RunResult r = exec::run(req);
+    if (!r.ok)
+        fatal("--bench-engine " + dataset + "@" + std::to_string(pes) +
+              " " + policy + ": " + r.error);
     EngineRun run;
-    run.wallMs =
-        std::chrono::duration<double, std::milli>(t1 - t0).count();
-    run.cycles = r.stats.cycles;
-    run.tasks = r.stats.tasks;
-    run.rowsSwitched = r.stats.rowsSwitched;
-    run.convergedRound = r.stats.convergedRound;
-    run.rounds = r.stats.rounds;
-    run.roundsSimulated = r.stats.roundsSimulated;
+    run.wallMs = r.wallMs;
+    run.cycles = r.cycles;
+    run.tasks = r.tasks;
+    run.rowsSwitched = r.rowsSwitched;
+    run.convergedRound = r.convergedRound;
+    run.rounds = r.rounds;
+    run.roundsSimulated = r.roundsSimulated;
     return run;
 }
 
 BenchPoint
 runPoint(const std::string &dataset, const DatasetSpec &spec, int pes,
-         const std::string &policy, const CscMatrix &adj,
-         const DenseMatrix &b, bool with_event)
+         const std::string &policy, bool with_event,
+         const BenchEngineOptions &opts)
 {
     BenchPoint pt;
     pt.dataset = dataset;
     pt.pes = pes;
     pt.policy = policy;
-    pt.nodes = adj.rows();
-    pt.nnz = adj.nnz();
+    auto adj = exec::WorkloadCache::instance().adjacency(spec, opts.seed,
+                                                         opts.scale);
+    pt.nodes = adj->rows();
+    pt.nnz = adj->nnz();
 
-    AccelConfig cfg = makePolicyConfig(policy, pes, hopBase(spec));
-    std::string err = cfg.validate(/*cycle_accurate_tdq2=*/true);
-    if (!err.empty())
-        fatal("--bench-engine " + dataset + "@" + std::to_string(pes) +
-              " " + policy + ": " + err);
-
-    if (with_event) {
-        cfg.engine = EngineKind::Event;
-        pt.event = runOnce(cfg, adj, b);
-    }
-    cfg.engine = EngineKind::Batched;
-    pt.batched = runOnce(cfg, adj, b);
+    if (with_event)
+        pt.event = runOnce(dataset, pes, policy, EngineKind::Event, opts);
+    pt.batched = runOnce(dataset, pes, policy, EngineKind::Batched, opts);
 
     if (pt.event) {
         pt.identical = pt.event->cycles == pt.batched.cycles &&
@@ -137,18 +138,14 @@ runBenchEngine(const BenchEngineOptions &opts)
 
     for (const std::string &dataset : opts.datasets) {
         const DatasetSpec &spec = findDataset(dataset);
-        CscMatrix adj = loadSyntheticAdjacency(spec, opts.seed, opts.scale);
-        Rng rng(opts.seed, /*seq=*/2);
-        DenseMatrix b(adj.cols(), opts.k);
-        b.fillUniform(rng, -1.0f, 1.0f);
         for (int pes : opts.peCounts) {
             for (const std::string &policy : opts.policies) {
                 std::fprintf(stderr, "bench-engine: %s @ %d PEs %s ...\n",
                              dataset.c_str(), pes, policy.c_str());
                 points.push_back(runPoint(
                     dataset, spec, pes,
-                    PolicyRegistry::instance().get(policy).name, adj, b,
-                    /*with_event=*/true));
+                    PolicyRegistry::instance().get(policy).name,
+                    /*with_event=*/true, opts));
             }
         }
     }
@@ -159,14 +156,10 @@ runBenchEngine(const BenchEngineOptions &opts)
                      "bench-engine: reddit @ %d PEs %s (batched only, "
                      "%d nodes) ...\n",
                      opts.redditPes, opts.redditPolicy.c_str(), spec.nodes);
-        CscMatrix adj = loadSyntheticAdjacency(spec, opts.seed, opts.scale);
-        Rng rng(opts.seed, /*seq=*/2);
-        DenseMatrix b(adj.cols(), opts.k);
-        b.fillUniform(rng, -1.0f, 1.0f);
         points.push_back(runPoint(
             "reddit", spec, opts.redditPes,
-            PolicyRegistry::instance().get(opts.redditPolicy).name, adj, b,
-            /*with_event=*/false));
+            PolicyRegistry::instance().get(opts.redditPolicy).name,
+            /*with_event=*/false, opts));
     }
 
     // --- Table.

@@ -18,6 +18,7 @@
 #include "common/table.hpp"
 #include "driver/json.hpp"
 #include "driver/scenario.hpp"
+#include "exec/workload_cache.hpp"
 #include "graph/datasets.hpp"
 #include "model/energy_model.hpp"
 #include "model/memory_model.hpp"
@@ -93,7 +94,8 @@ runBenchMemory(const BenchMemoryOptions &opts)
              "bw-bound", "GB moved", "latency(ms)"});
     for (const auto &dataset : opts.datasets) {
         const DatasetSpec &spec = findDataset(dataset);
-        WorkloadProfile prof = loadProfile(spec, opts.seed, opts.scale);
+        const auto prof_p = exec::cachedProfile(spec, opts.seed, opts.scale);
+        const WorkloadProfile &prof = *prof_p;
         for (const auto &policy : opts.policies) {
             for (const auto &platform : platforms) {
                 MemoryPoint pt =

@@ -19,6 +19,7 @@
 #include "common/table.hpp"
 #include "driver/json.hpp"
 #include "driver/scenario.hpp"
+#include "exec/workload_cache.hpp"
 #include "graph/datasets.hpp"
 #include "model/energy_model.hpp"
 #include "model/memory_model.hpp"
@@ -51,9 +52,10 @@ int
 runBenchScaleout(const BenchScaleoutOptions &opts)
 {
     const DatasetSpec &spec = findDataset(opts.dataset);
-    const WorkloadProfile prof = loadProfile(spec, opts.seed, opts.scale);
-    const CscMatrix adjacency =
-        loadSyntheticAdjacency(spec, opts.seed, opts.scale);
+    const auto prof_p = exec::cachedProfile(spec, opts.seed, opts.scale);
+    const WorkloadProfile &prof = *prof_p;
+    const auto adj_p = exec::cachedAdjacency(spec, opts.seed, opts.scale);
+    const CscMatrix &adjacency = *adj_p;
 
     std::vector<ScaleoutPoint> points;
     bool halo_ok = true;

@@ -20,6 +20,7 @@
 #include "common/table.hpp"
 #include "driver/json.hpp"
 #include "driver/scenario.hpp"
+#include "exec/workload_cache.hpp"
 #include "graph/datasets.hpp"
 #include "kernels/bfs.hpp"
 #include "kernels/pagerank.hpp"
@@ -92,8 +93,8 @@ int
 runBenchSpgemm(const BenchSpgemmOptions &opts)
 {
     const DatasetSpec &spec = findDataset(opts.dataset);
-    const CscMatrix a =
-        loadSyntheticAdjacency(spec, opts.seed, opts.scale);
+    const auto a_p = exec::cachedAdjacency(spec, opts.seed, opts.scale);
+    const CscMatrix &a = *a_p;
     if (opts.source < 0 || opts.source >= a.rows())
         fatal("bench-spgemm: --source out of range for the scaled graph");
 

@@ -20,6 +20,7 @@
 #include "common/rng.hpp"
 #include "common/table.hpp"
 #include "driver/scenario.hpp"
+#include "exec/workload_cache.hpp"
 
 using namespace awb;
 
@@ -34,8 +35,10 @@ runModel(const WorkloadProfile &prof, AccelConfig cfg)
 void
 runAblation(driver::ScenarioContext &ctx)
 {
-    auto nell = loadProfile(findDataset("nell"), ctx.seed, 1.0);
-    auto cora = loadProfile(findDataset("cora"), ctx.seed, 1.0);
+    auto nell_p = exec::cachedProfile(findDataset("nell"), ctx.seed, 1.0);
+    const WorkloadProfile &nell = *nell_p;
+    auto cora_p = exec::cachedProfile(findDataset("cora"), ctx.seed, 1.0);
+    const WorkloadProfile &cora = *cora_p;
 
     {
         std::printf("\n1. Eq. 5: exact vs shift-approximate increment "
@@ -100,7 +103,8 @@ runAblation(driver::ScenarioContext &ctx)
     {
         std::printf("\n4. Omega fabric provisioning (cycle-accurate, CORA "
                     "scale 0.3, 32 PEs, Design B):\n");
-        auto ds = loadSyntheticByName("cora", ctx.seed + 4, 0.3 * ctx.scale);
+        auto ds_p = exec::cachedDataset(findDataset("cora"), ctx.seed + 4, 0.3 * ctx.scale);
+        const Dataset &ds = *ds_p;
         Rng rng(9);
         DenseMatrix b(ds.spec.nodes, 8);
         b.fillUniform(rng, -1.0f, 1.0f);

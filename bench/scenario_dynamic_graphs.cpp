@@ -18,6 +18,7 @@
 #include "common/table.hpp"
 #include "driver/scenario.hpp"
 #include "dynamic/dynamic_runner.hpp"
+#include "exec/workload_cache.hpp"
 #include "graph/datasets.hpp"
 
 using namespace awb;
@@ -28,7 +29,8 @@ void
 runDynamicGraphs(driver::ScenarioContext &ctx)
 {
     const DatasetSpec &spec = findDataset("cora");
-    const CscMatrix a = loadSyntheticAdjacency(spec, ctx.seed, ctx.scale);
+    auto a_p = exec::cachedAdjacency(spec, ctx.seed, ctx.scale);
+    const CscMatrix &a = *a_p;
     const std::vector<std::string> policies = {
         "baseline",        "rescratch",  "rechunk", "delta-greedy",
         "delta-threshold", "work-steal", "remote-d"};

@@ -14,6 +14,7 @@
 #include "bench_util.hpp"
 #include "common/table.hpp"
 #include "driver/scenario.hpp"
+#include "exec/workload_cache.hpp"
 #include "graph/datasets.hpp"
 #include "graph/degree_dist.hpp"
 
@@ -55,7 +56,8 @@ runFig13(driver::ScenarioContext &ctx)
     Table t({"dataset", "rows", "nnz", "mean/row", "max/row", "gini",
              "top-1% rows hold"});
     for (const auto &spec : paperDatasets()) {
-        auto prof = loadProfile(spec, ctx.seed, ctx.scale);
+        auto prof_p = exec::cachedProfile(spec, ctx.seed, ctx.scale);
+        const WorkloadProfile &prof = *prof_p;
         auto &nnz = prof.aRowNnz;
         Count total = std::accumulate(nnz.begin(), nnz.end(), Count(0));
         Count max_d = *std::max_element(nnz.begin(), nnz.end());
@@ -78,7 +80,8 @@ runFig13(driver::ScenarioContext &ctx)
     std::printf("%s", t.render().c_str());
 
     for (const auto &spec : paperDatasets()) {
-        auto prof = loadProfile(spec, ctx.seed, ctx.scale);
+        auto prof_p = exec::cachedProfile(spec, ctx.seed, ctx.scale);
+        const WorkloadProfile &prof = *prof_p;
         std::printf("\n%s row-degree histogram (log buckets):\n",
                     bench::datasetLabel(spec).c_str());
         printHistogram(prof.aRowNnz);

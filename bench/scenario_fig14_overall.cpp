@@ -20,6 +20,7 @@
 #include "bench_util.hpp"
 #include "common/table.hpp"
 #include "driver/scenario.hpp"
+#include "exec/workload_cache.hpp"
 
 using namespace awb;
 
@@ -39,7 +40,8 @@ runFig14Overall(driver::ScenarioContext &ctx)
     };
 
     for (const auto &spec : paperDatasets()) {
-        auto prof = loadProfile(spec, ctx.seed, ctx.scale);
+        auto prof_p = exec::cachedProfile(spec, ctx.seed, ctx.scale);
+        const WorkloadProfile &prof = *prof_p;
         std::printf("\n%s (%d nodes, hop base %d):\n",
                     bench::datasetLabel(spec).c_str(), spec.nodes,
                     hopBase(spec));

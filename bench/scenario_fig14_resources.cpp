@@ -14,6 +14,7 @@
 #include "bench_util.hpp"
 #include "common/table.hpp"
 #include "driver/scenario.hpp"
+#include "exec/workload_cache.hpp"
 #include "model/area_model.hpp"
 
 using namespace awb;
@@ -24,7 +25,8 @@ void
 runFig14Resources(driver::ScenarioContext &ctx)
 {
     for (const auto &spec : paperDatasets()) {
-        auto prof = loadProfile(spec, ctx.seed, ctx.scale);
+        auto prof_p = exec::cachedProfile(spec, ctx.seed, ctx.scale);
+        const WorkloadProfile &prof = *prof_p;
         std::printf("\n%s:\n", bench::datasetLabel(spec).c_str());
         Table t({"design", "peak TQ depth", "TQ CLB", "other CLB",
                  "total CLB", "vs baseline"});

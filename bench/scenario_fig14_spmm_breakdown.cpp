@@ -12,6 +12,7 @@
 #include "bench_util.hpp"
 #include "common/table.hpp"
 #include "driver/scenario.hpp"
+#include "exec/workload_cache.hpp"
 
 using namespace awb;
 
@@ -21,7 +22,8 @@ void
 runFig14Spmm(driver::ScenarioContext &ctx)
 {
     for (const auto &spec : paperDatasets()) {
-        auto prof = loadProfile(spec, ctx.seed, ctx.scale);
+        auto prof_p = exec::cachedProfile(spec, ctx.seed, ctx.scale);
+        const WorkloadProfile &prof = *prof_p;
         std::printf("\n%s:\n", bench::datasetLabel(spec).c_str());
         Table t({"design", "SPMM", "ideal", "sync", "total", "util"});
         for (Design d : bench::kFig14Designs) {

@@ -14,6 +14,7 @@
 #include "bench_util.hpp"
 #include "common/table.hpp"
 #include "driver/scenario.hpp"
+#include "exec/workload_cache.hpp"
 #include "model/area_model.hpp"
 
 using namespace awb;
@@ -25,7 +26,8 @@ runFig15(driver::ScenarioContext &ctx)
 {
     const int pe_counts[3] = {512, 768, 1024};
     for (const auto &spec : paperDatasets()) {
-        auto prof = loadProfile(spec, ctx.seed, ctx.scale);
+        auto prof_p = exec::cachedProfile(spec, ctx.seed, ctx.scale);
+        const WorkloadProfile &prof = *prof_p;
         std::printf("\n%s:\n", bench::datasetLabel(spec).c_str());
         Table t({"design", "PEs", "cycles", "speedup", "util",
                  "area (CLB)"});

@@ -19,6 +19,7 @@
 #include "bench_util.hpp"
 #include "common/table.hpp"
 #include "driver/scenario.hpp"
+#include "exec/workload_cache.hpp"
 #include "graph/datasets.hpp"
 #include "kernels/bfs.hpp"
 #include "kernels/pagerank.hpp"
@@ -46,7 +47,8 @@ void
 runGraphKernels(driver::ScenarioContext &ctx)
 {
     const DatasetSpec &spec = findDataset("cora");
-    const CscMatrix a = loadSyntheticAdjacency(spec, ctx.seed, ctx.scale);
+    auto a_p = exec::cachedAdjacency(spec, ctx.seed, ctx.scale);
+    const CscMatrix &a = *a_p;
     const std::vector<std::string> policies = {"baseline", "remote-d"};
     const int pes = 64;
 

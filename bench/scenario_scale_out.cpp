@@ -16,6 +16,7 @@
 #include "bench_util.hpp"
 #include "common/table.hpp"
 #include "driver/scenario.hpp"
+#include "exec/workload_cache.hpp"
 #include "graph/datasets.hpp"
 #include "model/memory_model.hpp"
 
@@ -33,8 +34,10 @@ runScaleOut(driver::ScenarioContext &ctx)
                 platform.c_str());
     driver::Json jdatasets = driver::Json::object();
     for (const auto &spec : paperDatasets()) {
-        auto prof = loadProfile(spec, ctx.seed, ctx.scale);
-        CscMatrix a = loadSyntheticAdjacency(spec, ctx.seed, ctx.scale);
+        auto prof_p = exec::cachedProfile(spec, ctx.seed, ctx.scale);
+        const WorkloadProfile &prof = *prof_p;
+        auto a_p = exec::cachedAdjacency(spec, ctx.seed, ctx.scale);
+        const CscMatrix &a = *a_p;
         std::printf("\n%s:\n", bench::datasetLabel(spec).c_str());
         Table t({"chips", "cycles", "speedup", "efficiency", "halo MB",
                  "halo-bound", "imbalance"});

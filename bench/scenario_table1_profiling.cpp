@@ -12,6 +12,7 @@
 #include "bench_util.hpp"
 #include "common/table.hpp"
 #include "driver/scenario.hpp"
+#include "exec/workload_cache.hpp"
 #include "graph/datasets.hpp"
 
 using namespace awb;
@@ -26,7 +27,8 @@ runTable1(driver::ScenarioContext &ctx)
              "dens X2 (meas)", "dens X2 (paper)"});
 
     for (const auto &spec : paperDatasets()) {
-        auto prof = loadProfile(spec, ctx.seed, ctx.scale);
+        auto prof_p = exec::cachedProfile(spec, ctx.seed, ctx.scale);
+        const WorkloadProfile &prof = *prof_p;
         auto sum = [](const std::vector<Count> &v) {
             return std::accumulate(v.begin(), v.end(), Count(0));
         };

@@ -14,6 +14,7 @@
 #include "common/table.hpp"
 #include "driver/scenario.hpp"
 #include "gcn/ops_count.hpp"
+#include "exec/workload_cache.hpp"
 #include "graph/datasets.hpp"
 
 using namespace awb;
@@ -32,7 +33,7 @@ runTable2(driver::ScenarioContext &ctx)
 
     Table t({"dataset", "layer", "(A*X)*W", "A*(X*W)", "ratio"});
     for (const auto &spec : paperDatasets()) {
-        auto ops = countOpsProfile(loadProfile(spec, ctx.seed, ctx.scale));
+        auto ops = countOpsProfile(*exec::cachedProfile(spec, ctx.seed, ctx.scale));
         for (std::size_t l = 0; l < ops.layer.size(); ++l) {
             t.addRow({bench::datasetLabel(spec),
                       "Layer" + std::to_string(l + 1),

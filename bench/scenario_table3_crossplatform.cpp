@@ -28,6 +28,7 @@
 #include "bench_util.hpp"
 #include "common/table.hpp"
 #include "driver/scenario.hpp"
+#include "exec/workload_cache.hpp"
 #include "gcn/model.hpp"
 #include "gcn/ops_count.hpp"
 #include "model/energy_model.hpp"
@@ -58,7 +59,8 @@ runTable3(driver::ScenarioContext &ctx)
     int n_rows = 0;
 
     for (const auto &spec : paperDatasets()) {
-        auto prof = loadProfile(spec, ctx.seed, ctx.scale);
+        auto prof_p = exec::cachedProfile(spec, ctx.seed, ctx.scale);
+        const WorkloadProfile &prof = *prof_p;
         auto ops = countOpsProfile(prof);
 
         // --- CPU row: measured where practical, analytic otherwise.
@@ -67,7 +69,8 @@ runTable3(driver::ScenarioContext &ctx)
         double cpu_ms;
         std::string cpu_tag;
         if (measurable) {
-            auto ds = loadSynthetic(spec, ctx.seed, ctx.scale);
+            auto ds_p = exec::cachedDataset(spec, ctx.seed, ctx.scale);
+            const Dataset &ds = *ds_p;
             auto model = makeGcnModel(spec.f1, spec.f2, spec.f3);
             cpu_ms = measureCpuLatencyMs(ds, model, 3);
             cpu_tag = "host CPU (measured)";

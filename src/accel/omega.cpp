@@ -1,5 +1,7 @@
 #include "accel/omega.hpp"
 
+#include <algorithm>
+
 #include "common/log.hpp"
 
 namespace awb {
@@ -43,9 +45,10 @@ OmegaNetwork::shuffle(int port) const
 bool
 OmegaNetwork::inject(const Flit &flit, int src)
 {
-    if (!buffers_[0][static_cast<std::size_t>(shuffle(src))].push(flit))
-        return false;
+    Fifo<Flit> &buf = buffers_[0][static_cast<std::size_t>(shuffle(src))];
+    if (!buf.push(flit)) return false;
     ++stageCount_[0];
+    roundPeak_ = std::max(roundPeak_, buf.size());
     return true;
 }
 
@@ -106,6 +109,8 @@ OmegaNetwork::tick(Cycle, const Sink &sink)
                             buf.pop();
                             --stageCount_[static_cast<std::size_t>(s)];
                             ++stageCount_[static_cast<std::size_t>(s + 1)];
+                            roundPeak_ =
+                                std::max(roundPeak_, next.size());
                             ++out_used[bit];
                             progressed = true;
                         } else {

@@ -73,6 +73,16 @@ class OmegaNetwork
     /** Largest buffer occupancy seen anywhere (area model input). */
     std::size_t peakBufferDepth() const;
 
+    /**
+     * Largest buffer occupancy since the last resetRoundPeak(). The
+     * fabric is empty at every round boundary and `Fifo` peaks only
+     * move on push, so the lifetime peak equals the max of these
+     * round-local peaks; cached round replay restores it exactly
+     * (DESIGN.md §13).
+     */
+    std::size_t roundPeakBufferDepth() const { return roundPeak_; }
+    void resetRoundPeak() { roundPeak_ = 0; }
+
     Count flitsDelivered() const { return delivered_; }
     /** Moves that found their output busy or the next buffer full. A
      *  congestion indicator, not an exact attempt count: provably futile
@@ -100,6 +110,7 @@ class OmegaNetwork
     /** Flits resident per stage; lets tick() skip empty stages and
      *  makes empty() O(stages). */
     std::vector<Count> stageCount_;
+    std::size_t roundPeak_ = 0;
     Count delivered_ = 0;
     Count blocked_ = 0;
 };

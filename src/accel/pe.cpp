@@ -52,6 +52,7 @@ Pe::enqueue(const Task &task)
         return false;
     }
     best->push(task);
+    roundPeak_ = std::max(roundPeak_, best->size());
     return true;
 }
 
@@ -115,6 +116,7 @@ void
 Pe::resetRound()
 {
     tasksRound_ = 0;
+    roundPeak_ = 0;
 }
 
 } // namespace awb

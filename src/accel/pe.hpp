@@ -66,6 +66,15 @@ class Pe
     /** Peak queue occupancy across all queues since construction. */
     std::size_t peakQueueDepth() const;
 
+    /**
+     * Peak queue occupancy since the last resetRound(). Because queues
+     * are empty at every per-column barrier and `Fifo` peaks only move
+     * on push, the lifetime peak equals the max of these round-local
+     * peaks — which is what lets a replayed cached round carry the same
+     * peak its event-stepped twin produced (DESIGN.md §13).
+     */
+    std::size_t roundPeakQueueDepth() const { return roundPeak_; }
+
     /** Per-round reset of drain bookkeeping (queues must be empty). */
     void resetRound();
 
@@ -101,6 +110,7 @@ class Pe
 
     Cycle lastBusy_ = -1;
     Count tasksRound_ = 0;
+    std::size_t roundPeak_ = 0;
     StatSet stats_;
 };
 

@@ -1,6 +1,7 @@
 #include "accel/spmm_engine.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <numeric>
 #include <unordered_map>
 #include <utility>
@@ -9,8 +10,11 @@
 #include "accel/omega.hpp"
 #include "accel/pe.hpp"
 #include "accel/policy.hpp"
+#include "accel/round_cache.hpp"
 #include "common/log.hpp"
+#include "common/parallel.hpp"
 #include "kernels/spgemm.hpp"
+#include "sparse/convert.hpp"
 
 #include <cstdio>
 #include <cstdlib>
@@ -49,63 +53,14 @@ struct NnzStream
     std::size_t size() const { return row.size(); }
 };
 
-/**
- * Everything one round produces that later rounds (or replays of the
- * same round-entry state) need: the duration, the PESM observation, the
- * per-PE execution tallies and the post-round arbiter cursors. A round's
- * dynamics never read task values, so this is a pure function of the
- * entry state captured in RoundKey — the basis of the batched engine
- * (DESIGN.md §6).
- */
-struct RoundOutcome
-{
-    Cycle roundCycles = 0;
-    std::vector<Count> homeTasks;    ///< obs.peWork (dispatch-attributed)
-    std::vector<Cycle> drainCycle;   ///< obs.drainCycle
-    std::vector<Count> execTasks;    ///< tasks executed per PE
-    Count rawStallDelta = 0;         ///< RaW stall cycles this round
-    std::vector<std::size_t> arbiterAfter;  ///< post-round PE cursors
-};
-
-/** Round-entry state the dynamics depend on (and nothing else). */
-struct RoundKey
-{
-    std::vector<int> owners;               ///< row→PE map
-    std::vector<std::size_t> arbiter;      ///< per-PE arbiter cursors
-    int netParity = 0;  ///< Omega input-priority toggle (0 when unused)
-
-    bool
-    operator==(const RoundKey &o) const
-    {
-        return netParity == o.netParity && arbiter == o.arbiter &&
-               owners == o.owners;
-    }
-};
-
-std::uint64_t
-mix64(std::uint64_t x)
-{
-    x += 0x9e3779b97f4a7c15ULL;
-    x = (x ^ (x >> 30U)) * 0xbf58476d1ce4e5b9ULL;
-    x = (x ^ (x >> 27U)) * 0x94d049bb133111ebULL;
-    return x ^ (x >> 31U);
-}
-
-std::uint64_t
-hashKey(const RoundKey &key)
-{
-    std::uint64_t h = mix64(static_cast<std::uint64_t>(key.netParity) + 1);
-    for (int o : key.owners)
-        h = mix64(h ^ static_cast<std::uint64_t>(o));
-    for (std::size_t q : key.arbiter)
-        h = mix64(h ^ static_cast<std::uint64_t>(q));
-    return h;
-}
-
-/** Hash-bucketed memo of simulated rounds; exact key compare on hit. */
-using RoundCache =
-    std::unordered_map<std::uint64_t,
-                       std::vector<std::pair<RoundKey, RoundOutcome>>>;
+// RoundRecord (the per-round outcome) and RoundEntryKey now live in
+// accel/round_cache.hpp so outcomes can be shared across engine runs;
+// this run-local memo keeps the batched engine's within-run fast path
+// lock-free. Hash-bucketed, exact key compare on hit.
+using RoundCache = std::unordered_map<
+    std::uint64_t,
+    std::vector<std::pair<RoundEntryKey,
+                          std::shared_ptr<const RoundRecord>>>>;
 
 Count
 rawStallsOf(const std::vector<Pe> &pes)
@@ -200,17 +155,34 @@ SpmmEngine::execute(const CscMatrix &a, const DenseMatrix &b, TdqKind kind,
     stats.perPeTasks.assign(static_cast<std::size_t>(P), 0);
     Cycle now = 0;
     RoundCache cache;
+    // Cross-run shared cache (DESIGN.md §13): both engines consult it
+    // when enabled; outcomes are bit-identical to fresh simulation, so
+    // every model statistic is unchanged either way.
+    RoundStateCache &shared = RoundStateCache::instance();
+    const bool shared_on = shared.enabled();
+    const std::uint64_t shared_ctx =
+        shared_on ? roundContextDigest(a, cfg_, static_cast<int>(kind)) : 0;
+    // CSR twin of `a`, built lazily for the first replayed round: per-row
+    // ascending-column accumulation order equals the column-major stream
+    // order restricted to that row, so the row-parallel replay is
+    // bit-identical to the serial stream-order replay it replaces.
+    CsrMatrix a_csr;
+    bool have_csr = false;
+    std::size_t peak_queue = 0;
+    std::size_t peak_net = 0;
 
     /**
      * Event-step one round: the exact per-cycle dynamics both engines
      * share. Mutates pes/net/now/acc and returns the round's outcome.
      * The task *values* (b's column k) only flow into `acc`; every
      * control decision reads structure alone, so the outcome — timing
-     * included — depends only on the RoundKey captured by the caller.
+     * included — depends only on the RoundEntryKey captured by the
+     * caller.
      */
-    auto simulateRound = [&](Index k) -> RoundOutcome {
+    auto simulateRound = [&](Index k) -> RoundRecord {
         std::fill(home_tasks.begin(), home_tasks.end(), 0);
         for (auto &pe : pes) pe.resetRound();
+        net.resetRoundPeak();
         // Align the fabric's input-priority toggles with the global
         // cycle parity (identity under pure event stepping; required
         // after the batched engine replayed rounds without ticking).
@@ -337,7 +309,7 @@ SpmmEngine::execute(const CscMatrix &a, const DenseMatrix &b, TdqKind kind,
             if (done) break;
         }
 
-        RoundOutcome out;
+        RoundRecord out;
         out.roundCycles = now - round_start;
         if (std::getenv("AWB_DEBUG_ROUND") && k == 0) {
             std::fprintf(stderr, "round0 cycles=%lld\n",
@@ -371,60 +343,97 @@ SpmmEngine::execute(const CscMatrix &a, const DenseMatrix &b, TdqKind kind,
                 pe.arbiterCursor();
         }
         out.rawStallDelta = rawStallsOf(pes) - raw_before;
+        for (const Pe &pe : pes)
+            out.peakQueue = std::max(out.peakQueue, pe.roundPeakQueueDepth());
+        out.peakNet = use_net ? net.roundPeakBufferDepth() : 0;
         return out;
     };
 
     for (Index k = 0; k < K; ++k) {
         std::fill(acc.begin(), acc.end(), Value(0));
 
-        // Batched engine: replay a previously simulated round whose
-        // entry state matches, instead of event-stepping it again.
-        const RoundOutcome *replayed = nullptr;
+        // Replay a previously simulated round whose entry state matches,
+        // instead of event-stepping it again: the batched engine's
+        // within-run memo first, then (both engines) the process-wide
+        // shared cache.
+        std::shared_ptr<const RoundRecord> from_local;
+        std::shared_ptr<const RoundRecord> from_shared;
         std::uint64_t h = 0;
-        RoundKey key;
-        if (batched) {
+        RoundEntryKey key;
+        if (batched || shared_on) {
             key.owners = partition.owners();
             key.arbiter.resize(static_cast<std::size_t>(P));
             for (int p = 0; p < P; ++p)
                 key.arbiter[static_cast<std::size_t>(p)] =
                     pes[static_cast<std::size_t>(p)].arbiterCursor();
             key.netParity = use_net ? static_cast<int>(now & 1) : 0;
-            h = hashKey(key);
+            h = hashRoundKey(key);
+        }
+        if (batched) {
             auto bucket = cache.find(h);
             if (bucket != cache.end()) {
                 for (const auto &entry : bucket->second) {
                     if (entry.first == key) {
-                        replayed = &entry.second;
+                        from_local = entry.second;
                         break;
                     }
                 }
             }
         }
+        if (from_local == nullptr && shared_on)
+            from_shared = shared.lookup(shared_ctx, key);
 
-        RoundOutcome simulated;
-        const RoundOutcome *outcome;
-        if (replayed != nullptr) {
+        std::shared_ptr<const RoundRecord> record;
+        if (from_local != nullptr || from_shared != nullptr) {
+            record = from_local != nullptr ? from_local : from_shared;
             // Advance the whole round from its cached aggregates. The
-            // functional column is accumulated in non-zero stream order
-            // (the timing replay has no per-task schedule to follow), so
-            // replayed columns may differ from the event engine in
-            // floating-point rounding only.
-            for (std::size_t f = 0; f < n_flits; ++f) {
-                acc[static_cast<std::size_t>(stream.row[f])] +=
-                    stream.val[f] * b.at(stream.col[f], k);
+            // functional column is accumulated per output row over the
+            // CSR twin (the timing replay has no per-task schedule to
+            // follow), so replayed columns may differ from an uncached
+            // event run in floating-point rounding only. Rows are
+            // independent: deterministic chunked parallelism keeps the
+            // result bit-identical at any thread count.
+            if (!have_csr) {
+                a_csr = cscToCsr(a);
+                have_csr = true;
             }
+            const std::vector<Count> &rp = a_csr.rowPtr();
+            const std::vector<Index> &ci = a_csr.colId();
+            const std::vector<Value> &av = a_csr.val();
+            auto body = [&](std::size_t rb, std::size_t re) {
+                for (std::size_t r = rb; r < re; ++r) {
+                    Value s = Value(0);
+                    for (Count p = rp[r]; p < rp[r + 1]; ++p) {
+                        s += av[static_cast<std::size_t>(p)] *
+                             b.at(ci[static_cast<std::size_t>(p)], k);
+                    }
+                    acc[r] = s;
+                }
+            };
+            const std::size_t rows = static_cast<std::size_t>(m);
+            if (shouldParallelize(static_cast<std::uint64_t>(n_flits)))
+                parallelFor(rows, std::max<std::size_t>(1, rows / 256),
+                            body);
+            else
+                body(0, rows);
             for (int p = 0; p < P; ++p)
                 pes[static_cast<std::size_t>(p)].setArbiterCursor(
-                    replayed->arbiterAfter[static_cast<std::size_t>(p)]);
-            now += replayed->roundCycles;
-            outcome = replayed;
+                    record->arbiterAfter[static_cast<std::size_t>(p)]);
+            now += record->roundCycles;
         } else {
-            simulated = simulateRound(k);
-            ++stats.roundsSimulated;
-            outcome = &simulated;
-            if (batched)
-                cache[h].emplace_back(std::move(key), simulated);
+            record = std::make_shared<RoundRecord>(simulateRound(k));
+            if (shared_on) shared.insert(shared_ctx, key, record);
         }
+        // Charged per round the within-run memo missed (every round for
+        // the event engine), so counts are bit-identical with the shared
+        // cache on or off.
+        if (from_local == nullptr) {
+            ++stats.roundsSimulated;
+            if (batched) cache[h].emplace_back(key, record);
+        }
+        const RoundRecord *outcome = record.get();
+        peak_queue = std::max(peak_queue, outcome->peakQueue);
+        peak_net = std::max(peak_net, outcome->peakNet);
 
         // Commit the finished column of C.
         for (Index r = 0; r < m; ++r)
@@ -489,15 +498,13 @@ SpmmEngine::execute(const CscMatrix &a, const DenseMatrix &b, TdqKind kind,
         : 0.0;
     stats.rowsSwitched = rebalance->totalRowsMoved();
     stats.convergedRound = rebalance->convergedRound();
-    // Peak-depth accounting needs no per-round tracking: a replayed
-    // round repeats the dynamics of the simulated round that produced
-    // its cache entry, so it cannot raise any peak the simulated rounds
-    // have not already raised.
-    for (const auto &pe : pes) {
-        stats.peakQueueDepth =
-            std::max(stats.peakQueueDepth, pe.peakQueueDepth());
-    }
-    if (use_net) stats.peakNetworkDepth = net.peakBufferDepth();
+    // Peaks are folded from per-round maxima carried in each
+    // RoundRecord: a replayed round repeats the dynamics of the
+    // simulated round that produced its cache entry (possibly in a
+    // previous engine run), so its recorded peaks are exactly what
+    // event-stepping it would have raised.
+    stats.peakQueueDepth = peak_queue;
+    if (use_net) stats.peakNetworkDepth = peak_net;
     return {std::move(c), std::move(stats)};
 }
 

@@ -7,6 +7,7 @@
 
 #include "accel/policy.hpp"
 #include "common/log.hpp"
+#include "common/parallel.hpp"
 #include "driver/bench_dynamic.hpp"
 #include "driver/bench_engine.hpp"
 #include "driver/bench_memory.hpp"
@@ -16,6 +17,8 @@
 #include "driver/scenario.hpp"
 #include "driver/serve_cli.hpp"
 #include "driver/sweep.hpp"
+#include "exec/workload_cache.hpp"
+#include "graph/datasets.hpp"
 #include "model/memory_model.hpp"
 
 namespace awb::driver {
@@ -43,6 +46,16 @@ printUsage()
         "  awbsim --list-platforms\n"
         "      List every registered off-chip memory platform usable\n"
         "      with --platforms (DESIGN.md §8).\n\n"
+        "  awbsim --list-datasets\n"
+        "      List every registered dataset usable with --datasets.\n\n"
+        "  Global flags (any command):\n"
+        "      --no-cache          disable the process-wide workload and\n"
+        "                          round-entry-state caches (DESIGN.md\n"
+        "                          §13); results are bit-identical either\n"
+        "                          way, only wall clock changes\n"
+        "      --intra-threads N   worker threads for intra-point dense\n"
+        "                          SPMM loops (0 = hardware concurrency;\n"
+        "                          deterministic at any value)\n\n"
         "  awbsim --list-disciplines\n"
         "      List every registered serving batch discipline usable\n"
         "      with --discipline (DESIGN.md §10).\n\n"
@@ -240,6 +253,21 @@ listDesigns()
 }
 
 int
+listDatasets()
+{
+    const auto &all = paperDatasets();
+    std::printf("%zu registered datasets:\n", all.size());
+    for (const DatasetSpec &d : all)
+        std::printf("  %-10s %8lld nodes  f1=%lld f2=%lld f3=%lld  "
+                    "densityA=%g\n",
+                    d.name.c_str(), static_cast<long long>(d.nodes),
+                    static_cast<long long>(d.f1),
+                    static_cast<long long>(d.f2),
+                    static_cast<long long>(d.f3), d.densityA);
+    return 0;
+}
+
+int
 listPlatforms()
 {
     const auto &all = knownPlatforms();
@@ -345,6 +373,30 @@ runSweepCli(int argc, char **argv, int first)
 int
 driverMain(int argc, char **argv)
 {
+    // Global execution-core flags (DESIGN.md §13) may appear anywhere on
+    // the command line; strip them before command dispatch. The caches
+    // default ON in the driver — library users and unit tests see plain
+    // uncached behavior unless they opt in via exec::setCachesEnabled.
+    bool no_cache = false;
+    int intra_threads = 0;
+    std::vector<char *> args;
+    args.reserve(static_cast<std::size_t>(argc));
+    for (int i = 0; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a == "--no-cache") {
+            no_cache = true;
+        } else if (a == "--intra-threads") {
+            if (i + 1 >= argc) fatal("--intra-threads needs a value");
+            intra_threads = parseInt("--intra-threads", argv[++i]);
+        } else {
+            args.push_back(argv[i]);
+        }
+    }
+    exec::setCachesEnabled(!no_cache);
+    setIntraThreads(intra_threads);
+    argc = static_cast<int>(args.size());
+    argv = args.data();
+
     if (argc < 2) {
         printUsage();
         return 2;
@@ -358,6 +410,7 @@ driverMain(int argc, char **argv)
     if (cmd == "--list-designs" || cmd == "--list-policies")
         return listDesigns();
     if (cmd == "--list-platforms") return listPlatforms();
+    if (cmd == "--list-datasets") return listDatasets();
     if (cmd == "run") {
         ScenarioCli cli = parseScenarioCli(argc, argv, 2,
                                            /*warn_unknown=*/true);

@@ -6,327 +6,37 @@
 #include <mutex>
 #include <thread>
 
-#include "accel/gcn_accel.hpp"
-#include "accel/perf_model.hpp"
 #include "accel/policy.hpp"
-#include "accel/scaleout.hpp"
-#include "accel/spmm_engine.hpp"
 #include "common/log.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
-#include "dynamic/dynamic_runner.hpp"
-#include "gcn/model.hpp"
 #include "graph/datasets.hpp"
-#include "kernels/bfs.hpp"
-#include "kernels/pagerank.hpp"
-#include "model/area_model.hpp"
-#include "model/energy_model.hpp"
 #include "model/memory_model.hpp"
-#include "sim/factories.hpp"
-#include "sim/session.hpp"
-#include "sparse/convert.hpp"
 
 namespace awb::driver {
 
 namespace {
 
-/** Fold cycle-level stats of one SPMM into the outcome accumulators. */
-void
-accumulate(SweepOutcome &out, const SpmmStats &s)
-{
-    out.cycles += s.cycles;
-    out.idealCycles += s.idealCycles;
-    out.syncCycles += s.syncCycles;
-    out.tasks += s.tasks;
-    out.rounds += s.rounds;
-    out.roundsSimulated += s.roundsSimulated;
-    out.rowsSwitched += s.rowsSwitched;
-    out.convergedRound = std::max(out.convergedRound, s.convergedRound);
-    out.peakTqDepth = std::max(out.peakTqDepth, s.peakQueueDepth);
-    out.bytesTotal += s.traffic.total();
-    out.memoryCycles += s.memoryCycles;
-    out.bwBoundRounds += s.bwBoundRounds;
-}
-
-void
-accumulate(SweepOutcome &out, const PerfSpmmResult &s)
-{
-    out.idealCycles += s.idealCycles;
-    out.syncCycles += s.syncCycles;
-    out.rounds += s.rounds;
-    out.rowsSwitched += s.rowsSwitched;
-    out.convergedRound = std::max(out.convergedRound, s.convergedRound);
-    out.peakTqDepth = std::max(out.peakTqDepth, s.peakQueueDepth);
-    out.bytesTotal += s.traffic.total();
-    out.memoryCycles += s.memoryCycles;
-    out.bwBoundRounds += s.bwBoundRounds;
-}
-
-/** Fold a frontier-kernel run (BFS/PageRank) into the outcome. */
-void
-accumulate(SweepOutcome &out, const kernels::FrontierRunStats &s)
-{
-    out.cycles += s.totalCycles;
-    out.tasks += s.totalTasks;
-    out.rounds += s.rounds;
-    out.roundsSimulated += s.roundsSimulated;
-    out.rowsSwitched += s.rowsSwitched;
-    out.convergedRound = std::max(out.convergedRound, s.convergedRound);
-    out.peakTqDepth = std::max(out.peakTqDepth, s.peakQueueDepth);
-    out.bytesTotal += s.traffic.total();
-    out.memoryCycles += s.memoryCycles;
-    out.bwBoundRounds += s.bwBoundRounds;
-    out.haloBytes += s.haloBytes;
-    out.haloCycles += s.haloCycles;
-    out.haloBoundRounds += s.haloBoundRounds;
-    out.chipImbalance = s.chipImbalance;
-}
-
-/** Fold a streaming churn run into the outcome. */
-void
-accumulate(SweepOutcome &out, const dynamic::DynamicRunStats &s, int pes)
-{
-    out.cycles += s.totalCycles;
-    out.tasks += s.totalTasks;
-    out.rounds += s.rounds;
-    out.roundsSimulated += s.roundsSimulated;
-    out.rowsSwitched += s.rowsMoved;
-    out.peakTqDepth = std::max(out.peakTqDepth, s.peakQueueDepth);
-    out.bytesTotal += s.traffic.total();
-    out.memoryCycles += s.memoryCycles;
-    out.bwBoundRounds += s.bwBoundRounds;
-    out.halfLifeEpochs = s.halfLifeEpochs;
-    if (out.cycles > 0 && pes > 0)
-        out.utilization = static_cast<double>(out.tasks) /
-                          (static_cast<double>(pes) *
-                           static_cast<double>(out.cycles));
-}
-
-/** Fold a full Session run into the outcome accumulators. */
-void
-accumulate(SweepOutcome &out, const sim::SessionResult &res)
-{
-    for (const auto &s : res.nodeStats) accumulate(out, s);
-    out.cycles = res.totalCycles;  // pipelined end-to-end delay
-    out.utilization = res.utilization;
-}
-
-/** Fold the scale-out view of a sharded run into the outcome. */
-void
-accumulate(SweepOutcome &out, const ScaleOutSummary &s)
-{
-    out.haloBytes += s.haloBytes;
-    out.haloCycles += s.haloCycles;
-    out.haloBoundRounds += s.haloBoundRounds;
-    out.chipImbalance = s.chipImbalance;
-}
-
-/** One execution of a point's workload; everything but repeat checking. */
+/** One execution of a point's workload; everything but repeat checking.
+ *  All plumbing (dataset resolution through the WorkloadCache, policy
+ *  config, mode dispatch, folding, utilization/energy/area) lives in
+ *  the execution core (exec/run.hpp). */
 SweepOutcome
 executeOnce(const SweepPoint &p, const SweepOptions &opts)
 {
     SweepOutcome out;
     out.point = p;
-    const DatasetSpec &spec = findDataset(p.dataset);
-    if (p.pes <= 0) {
-        out.error = "numPes must be positive";
-        return out;
-    }
-    // Surface configuration errors (bad field combinations, and for the
-    // cycle-accurate modes the power-of-two PE count the Omega network
-    // needs) as per-point results, not aborts: configure without
-    // validating, then route validate() into the error row.
-    AccelConfig cfg = configureForPolicy(
-        PolicyRegistry::instance().get(p.policy), p.pes, hopBase(spec));
-    cfg.engine = opts.engine;
-    cfg.platform = p.platform;
-    cfg.chips = p.chips;
-    std::string cfg_err =
-        cfg.validate(/*cycle_accurate_tdq2=*/p.mode != SweepMode::Model);
-    if (!cfg_err.empty()) {
-        out.error = cfg_err;
-        return out;
-    }
-    const bool sharded = cfg.chips > 1;
-    if (sharded &&
-        (p.mode == SweepMode::GraphSage || p.mode == SweepMode::Gin ||
-         p.mode == SweepMode::KhopGcn)) {
-        out.error = "mode '" + sweepModeName(p.mode) + "' with chips=" +
-                    std::to_string(p.chips) +
-                    " is unsupported: the workload-graph modes "
-                    "(graphsage|gin|khop) run unsharded only; multi-chip "
-                    "sharding supports model|cycle|tdq1|tdq2";
-        return out;
-    }
-    if (sharded && p.mode == SweepMode::ChurnGcn) {
-        out.error = "mode 'churn' with chips=" + std::to_string(p.chips) +
-                    " is unsupported: edge churn invalidates static "
-                    "shard boundaries";
-        return out;
-    }
-
-    switch (p.mode) {
-      case SweepMode::Model: {
-        WorkloadProfile prof = loadProfile(spec, p.seed, opts.scale);
-        if (sharded) {
-            // Halo counting needs the adjacency structure, which the
-            // profile alone cannot provide.
-            CscMatrix a = loadSyntheticAdjacency(spec, p.seed, opts.scale);
-            ShardedPerfGcnResult sr = modelGcnSharded(cfg, prof, &a);
-            out.cycles = sr.result.totalCycles;
-            out.tasks = sr.result.totalTasks;
-            out.utilization = sr.result.utilization;
-            for (const auto &layer : sr.result.layers) {
-                accumulate(out, layer.xw);
-                accumulate(out, layer.ax);
-            }
-            accumulate(out, sr.scaleout);
-            break;
-        }
-        PerfGcnResult res = PerfModel(cfg).runGcn(prof);
-        out.cycles = res.totalCycles;
-        out.tasks = res.totalTasks;
-        out.utilization = res.utilization;
-        for (const auto &layer : res.layers) {
-            accumulate(out, layer.xw);
-            accumulate(out, layer.ax);
-        }
-        break;
-      }
-      case SweepMode::Cycle: {
-        Dataset ds = loadSynthetic(spec, p.seed, opts.scale);
-        GcnModel model =
-            makeGcnModel(ds.spec.f1, ds.spec.f2, ds.spec.f3, p.seed);
-        if (sharded) {
-            ShardedGcnResult sr = runGcnSharded(cfg, ds, model);
-            out.utilization = sr.result.utilization;
-            for (const auto &layer : sr.result.layers) {
-                accumulate(out, layer.xw);
-                accumulate(out, layer.ax);
-                for (const auto &hop : layer.extraHops)
-                    accumulate(out, hop);
-            }
-            out.cycles = sr.result.totalCycles;
-            out.tasks = sr.result.totalTasks;
-            accumulate(out, sr.scaleout);
-            break;
-        }
-        GcnRunResult res = runGcn(cfg, ds, model);
-        out.utilization = res.utilization;
-        for (const auto &layer : res.layers) {
-            accumulate(out, layer.xw);
-            accumulate(out, layer.ax);
-            for (const auto &hop : layer.extraHops) accumulate(out, hop);
-        }
-        out.cycles = res.totalCycles;  // pipelined end-to-end delay
-        out.tasks = res.totalTasks;
-        break;
-      }
-      case SweepMode::SpmmTdq1: {
-        Dataset ds = loadSynthetic(spec, p.seed, opts.scale);
-        CscMatrix x = csrToCsc(ds.features);
-        Rng rng(p.seed, /*seq=*/1);
-        DenseMatrix w(ds.spec.f1, ds.spec.f2);
-        w.fillUniform(rng, -1.0f, 1.0f);
-        if (sharded) {
-            ShardedSpmmResult sr =
-                executeSpmmSharded(cfg, x, w, TdqKind::Tdq1DenseScan);
-            accumulate(out, sr.result.stats);
-            out.utilization = sr.result.stats.utilization;
-            accumulate(out, sr.scaleout);
-            break;
-        }
-        RowPartition part =
-            makePartitionPolicy(cfg)->build(x.rows(), x.rowNnz(), cfg);
-        SpmmResult r =
-            SpmmEngine(cfg).execute(x, w, TdqKind::Tdq1DenseScan, part);
-        accumulate(out, r.stats);
-        out.utilization = r.stats.utilization;
-        break;
-      }
-      case SweepMode::SpmmTdq2: {
-        Dataset ds = loadSynthetic(spec, p.seed, opts.scale);
-        Rng rng(p.seed, /*seq=*/2);
-        DenseMatrix b(ds.spec.nodes, ds.spec.f2);
-        b.fillUniform(rng, -1.0f, 1.0f);
-        if (sharded) {
-            ShardedSpmmResult sr = executeSpmmSharded(
-                cfg, ds.adjacency, b, TdqKind::Tdq2OmegaCsc);
-            accumulate(out, sr.result.stats);
-            out.utilization = sr.result.stats.utilization;
-            accumulate(out, sr.scaleout);
-            break;
-        }
-        RowPartition part = makePartitionPolicy(cfg)->build(
-            ds.adjacency.rows(), ds.adjacency.rowNnz(), cfg);
-        SpmmResult r = SpmmEngine(cfg).execute(ds.adjacency, b,
-                                               TdqKind::Tdq2OmegaCsc, part);
-        accumulate(out, r.stats);
-        out.utilization = r.stats.utilization;
-        break;
-      }
-      case SweepMode::GraphSage: {
-        Dataset ds = loadSynthetic(spec, p.seed, opts.scale);
-        sim::WorkloadBundle w = sim::buildGraphSage(
-            ds, ds.spec.f2, ds.spec.f3, /*meanAggregate=*/true, p.seed);
-        sim::Session session(cfg);
-        accumulate(out, sim::runWorkload(session, std::move(w)));
-        break;
-      }
-      case SweepMode::Gin: {
-        Dataset ds = loadSynthetic(spec, p.seed, opts.scale);
-        sim::WorkloadBundle w =
-            sim::buildGin(ds, ds.spec.f2, ds.spec.f3, /*eps=*/0.1, p.seed);
-        sim::Session session(cfg);
-        accumulate(out, sim::runWorkload(session, std::move(w)));
-        break;
-      }
-      case SweepMode::KhopGcn: {
-        Dataset ds = loadSynthetic(spec, p.seed, opts.scale);
-        GcnModel model =
-            makeGcnModel(ds.spec.f1, ds.spec.f2, ds.spec.f3, p.seed);
-        sim::WorkloadBundle w = sim::buildExactKhopGcn(ds, model, 2);
-        sim::Session session(cfg);
-        accumulate(out, sim::runWorkload(session, std::move(w)));
-        break;
-      }
-      case SweepMode::Bfs: {
-        CscMatrix a = loadSyntheticAdjacency(spec, p.seed, opts.scale);
-        kernels::BfsRun run = kernels::runBfs(cfg, a, /*source=*/0);
-        accumulate(out, run.stats);
-        break;
-      }
-      case SweepMode::Pagerank: {
-        CscMatrix a = loadSyntheticAdjacency(spec, p.seed, opts.scale);
-        kernels::PagerankRun run = kernels::runPagerank(
-            cfg, a, /*damping=*/0.85, /*tol=*/1e-6, /*maxIters=*/200);
-        accumulate(out, run.stats);
-        break;
-      }
-      case SweepMode::ChurnGcn: {
-        CscMatrix a = loadSyntheticAdjacency(spec, p.seed, opts.scale);
-        dynamic::ChurnParams churn;
-        churn.seed = p.seed;
-        dynamic::DynamicOptions dopts;
-        dopts.fidelity = dynamic::DynamicFidelity::Cycle;
-        dopts.epochs = 6;
-        dopts.eventsPerEpoch = std::max<Count>(16, a.nnz() / 20);
-        dopts.denseCols = 8;
-        dopts.seed = p.seed;
-        accumulate(out, dynamic::runChurnGcn(cfg, a, churn, dopts),
-                   p.pes);
-        break;
-      }
-    }
-
-    double mhz = policyClockMhz(cfg);
-    EnergyReport energy = evaluateEnergy(out.cycles, out.tasks, mhz);
-    out.latencyMs = energy.latencyMs;
-    out.inferencesPerKj = energy.inferencesPerKj;
-    AreaEstimate area = estimateArea(cfg, out.peakTqDepth);
-    out.areaTotalClb = area.totalClb;
-    out.areaTqClb = area.tqClb;
-    out.ok = true;
+    exec::RunRequest req;
+    req.dataset = p.dataset;
+    req.policy = p.policy;
+    req.platform = p.platform;
+    req.pes = p.pes;
+    req.chips = p.chips;
+    req.mode = p.mode;
+    req.engine = opts.engine;
+    req.seed = p.seed;
+    req.scale = opts.scale;
+    static_cast<exec::RunResult &>(out) = exec::run(req);
     return out;
 }
 
@@ -335,37 +45,13 @@ executeOnce(const SweepPoint &p, const SweepOptions &opts)
 std::string
 sweepModeName(SweepMode m)
 {
-    switch (m) {
-      case SweepMode::Model: return "model";
-      case SweepMode::Cycle: return "cycle";
-      case SweepMode::SpmmTdq1: return "tdq1";
-      case SweepMode::SpmmTdq2: return "tdq2";
-      case SweepMode::GraphSage: return "graphsage";
-      case SweepMode::Gin: return "gin";
-      case SweepMode::KhopGcn: return "khop";
-      case SweepMode::Bfs: return "bfs";
-      case SweepMode::Pagerank: return "pagerank";
-      case SweepMode::ChurnGcn: return "churn";
-    }
-    return "?";
+    return exec::modeName(m);
 }
 
 SweepMode
 parseSweepMode(const std::string &s)
 {
-    if (s == "model") return SweepMode::Model;
-    if (s == "cycle") return SweepMode::Cycle;
-    if (s == "tdq1") return SweepMode::SpmmTdq1;
-    if (s == "tdq2") return SweepMode::SpmmTdq2;
-    if (s == "graphsage") return SweepMode::GraphSage;
-    if (s == "gin") return SweepMode::Gin;
-    if (s == "khop") return SweepMode::KhopGcn;
-    if (s == "bfs") return SweepMode::Bfs;
-    if (s == "pagerank") return SweepMode::Pagerank;
-    if (s == "churn" || s == "churn-gcn") return SweepMode::ChurnGcn;
-    fatal("unknown sweep mode '" + s +
-          "' (model|cycle|tdq1|tdq2|graphsage|gin|khop|bfs|pagerank|"
-          "churn)");
+    return exec::parseMode(s);
 }
 
 std::uint64_t
@@ -373,6 +59,19 @@ derivePointSeed(std::uint64_t global_seed, std::size_t index)
 {
     return splitmix64(splitmix64(global_seed) ^
                       splitmix64(static_cast<std::uint64_t>(index) + 1));
+}
+
+std::uint64_t
+deriveWorkloadSeed(std::uint64_t global_seed, const std::string &dataset)
+{
+    // FNV-1a over the name (not std::hash: its value is implementation-
+    // defined, and workload seeds must be stable across builds).
+    std::uint64_t name_hash = 1469598103934665603ULL;
+    for (unsigned char c : dataset) {
+        name_hash ^= c;
+        name_hash *= 1099511628211ULL;
+    }
+    return splitmix64(splitmix64(global_seed) ^ splitmix64(name_hash));
 }
 
 std::vector<SweepPoint>
@@ -400,7 +99,7 @@ expandGrid(const SweepOptions &opts)
                             p.pes = pes;
                             p.chips = chips;
                             p.mode = mode;
-                            p.seed = derivePointSeed(opts.seed, p.index);
+                            p.seed = deriveWorkloadSeed(opts.seed, dataset);
                             points.push_back(std::move(p));
                         }
                     }

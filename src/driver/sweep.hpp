@@ -13,10 +13,12 @@
  * without touching the sweep engine.
  *
  * Determinism contract: each point derives its RNG seed from the global
- * seed and its own grid index (splitmix64 mixing), results land in a
- * pre-sized vector slot keyed by that index, and JSON rendering uses one
- * fixed formatting path — so the output is byte-identical for a given
- * (options, seed) regardless of worker-thread count or scheduling.
+ * seed and its dataset name (splitmix64 mixing — per dataset, not per
+ * grid index, so the WorkloadCache synthesizes each dataset once per
+ * grid), results land in a pre-sized vector slot keyed by grid index,
+ * and JSON rendering uses one fixed formatting path — so the output is
+ * byte-identical for a given (options, seed) regardless of worker-thread
+ * count, intra-point thread count, or cache on/off.
  */
 
 #pragma once
@@ -27,23 +29,13 @@
 
 #include "accel/config.hpp"
 #include "driver/json.hpp"
+#include "exec/run.hpp"
 
 namespace awb::driver {
 
-/** What one sweep point executes. */
-enum class SweepMode
-{
-    Model,     ///< round-level PerfModel, full 2-layer GCN (any scale)
-    Cycle,     ///< cycle-accurate 2-layer GCN (sim::Session)
-    SpmmTdq1,  ///< cycle-accurate single SPMM, TDQ-1 dense-scan path (X×W)
-    SpmmTdq2,  ///< cycle-accurate single SPMM, TDQ-2 Omega path (A×B)
-    GraphSage, ///< cycle-accurate 2-layer GraphSAGE-mean workload graph
-    Gin,       ///< cycle-accurate 2-layer GIN workload graph
-    KhopGcn,   ///< cycle-accurate 2-hop GCN (A²(XW) chains, §3.3, §11)
-    Bfs,       ///< frontier BFS via sparse-output SpGEMM (§11)
-    Pagerank,  ///< PageRank power iteration via SpGEMM (§11)
-    ChurnGcn,  ///< streaming churn epochs over a live adjacency (§12)
-};
+/** What one sweep point executes — the execution core's Mode
+ *  (exec/run.hpp), aliased for the sweep's historical spelling. */
+using SweepMode = exec::Mode;
 
 std::string sweepModeName(SweepMode m);
 SweepMode parseSweepMode(const std::string &s);
@@ -96,46 +88,25 @@ struct SweepPoint
     int pes = 0;
     int chips = 1;             ///< accelerator chips (row sharding, §9)
     SweepMode mode = SweepMode::Model;
-    std::uint64_t seed = 0;    ///< derived, deterministic per point
+    std::uint64_t seed = 0;    ///< derived, deterministic per dataset
 };
 
-/** Results of one executed point. */
-struct SweepOutcome
+/** Results of one executed point: the execution core's folded outcome
+ *  (exec/run.hpp) plus the sweep's own bookkeeping. */
+struct SweepOutcome : exec::RunResult
 {
     SweepPoint point;
-    bool ok = false;
-    std::string error;         ///< set when ok == false
-    Cycle cycles = 0;
-    Cycle idealCycles = 0;
-    Cycle syncCycles = 0;
-    Count tasks = 0;
-    double utilization = 0.0;
-    std::size_t peakTqDepth = 0;
-    Count rowsSwitched = 0;
-    Count convergedRound = -1;     ///< latest auto-tune convergence round
-    Count rounds = 0;
-    /** Rounds event-stepped by the cycle engine (< rounds when the
-     *  batched engine replayed cached rounds; 0 in Model mode). */
-    Count roundsSimulated = 0;
-    Count bytesTotal = 0;          ///< modelled off-chip traffic (bytes)
-    Cycle memoryCycles = 0;        ///< summed per-round bandwidth floors
-    Count bwBoundRounds = 0;       ///< rounds stretched to their floor
-    Count haloBytes = 0;           ///< inter-chip boundary-row traffic
-    Cycle haloCycles = 0;          ///< summed per-round link floors
-    Count haloBoundRounds = 0;     ///< rounds stretched to the link floor
-    double chipImbalance = 1.0;    ///< max/mean chip workload (1 = even)
-    /** Churn mode only: first epoch whose carried-vs-fresh cycle drift
-     *  reached the tolerance (-1 = never went stale; DESIGN.md §12). */
-    Count halfLifeEpochs = -1;
-    double latencyMs = 0.0;        ///< at the paper's 275 MHz
-    double inferencesPerKj = 0.0;
-    double areaTotalClb = 0.0;
-    double areaTqClb = 0.0;
     bool deterministic = true;     ///< repeats reproduced identical cycles
 };
 
-/** Deterministic per-point seed derivation (splitmix64 of seed, index). */
+/** Deterministic seed derivation (splitmix64 mixing). derivePointSeed
+ *  keys on the grid index; deriveWorkloadSeed keys on the dataset name,
+ *  which is what expandGrid uses — every point of one dataset shares a
+ *  workload seed, so the WorkloadCache synthesizes each dataset once
+ *  per grid instead of once per point (DESIGN.md §13). */
 std::uint64_t derivePointSeed(std::uint64_t global_seed, std::size_t index);
+std::uint64_t deriveWorkloadSeed(std::uint64_t global_seed,
+                                 const std::string &dataset);
 
 /** Worker-pool size a sweep will actually use: opts.threads, or the
  *  hardware concurrency when 0, capped at the number of grid points. */

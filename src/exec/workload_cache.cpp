@@ -1,0 +1,220 @@
+#include "exec/workload_cache.hpp"
+
+#include <atomic>
+#include <future>
+#include <locale>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+
+#include "accel/round_cache.hpp"
+
+namespace awb::exec {
+
+namespace {
+
+/**
+ * Content key: every spec field plus seed and scale. Two specs that
+ * agree field-for-field are the same workload no matter which registry
+ * or hand-built struct they came from.
+ */
+std::string
+contentKey(const char *kind, const DatasetSpec &s, std::uint64_t seed,
+           double scale)
+{
+    std::ostringstream os;
+    os.imbue(std::locale::classic());
+    os << kind << '|' << s.name << '|' << s.nodes << '|' << s.f1 << '|'
+       << s.f2 << '|' << s.f3 << '|' << std::hexfloat << s.densityA << '|'
+       << s.densityX1 << '|' << s.densityX2 << '|'
+       << static_cast<int>(s.style) << '|' << s.alpha << '|' << s.dMax
+       << '|' << s.hopOverride << '|' << seed << '|' << scale;
+    return os.str();
+}
+
+template <typename T>
+using FutureMap =
+    std::unordered_map<std::string,
+                       std::shared_future<std::shared_ptr<const T>>>;
+
+/**
+ * Single-flight memoization: the first requester of a key installs a
+ * future and synthesizes outside the lock; concurrent requesters wait
+ * on the same future. A build() that throws removes the slot so a later
+ * request can retry, and rethrows to the waiters via the future.
+ */
+template <typename T, typename Build>
+std::shared_ptr<const T>
+getOrBuild(std::mutex &mu, FutureMap<T> &map, const std::string &key,
+           std::atomic<std::uint64_t> &hits,
+           std::atomic<std::uint64_t> &misses, Build build)
+{
+    std::promise<std::shared_ptr<const T>> promise;
+    std::shared_future<std::shared_ptr<const T>> waiter;
+    bool is_builder = false;
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        auto it = map.find(key);
+        if (it != map.end()) {
+            hits.fetch_add(1, std::memory_order_relaxed);
+            waiter = it->second;  // copy: wait outside the lock
+        } else {
+            misses.fetch_add(1, std::memory_order_relaxed);
+            waiter = promise.get_future().share();
+            map.emplace(key, waiter);
+            is_builder = true;
+        }
+    }
+    if (!is_builder) return waiter.get();
+    try {
+        auto value = std::make_shared<const T>(build());
+        promise.set_value(value);
+        return value;
+    } catch (...) {
+        {
+            std::lock_guard<std::mutex> lock(mu);
+            map.erase(key);
+        }
+        promise.set_exception(std::current_exception());
+        throw;
+    }
+}
+
+} // namespace
+
+struct WorkloadCache::Impl
+{
+    std::atomic<bool> enabled{false};
+    std::atomic<std::uint64_t> hits{0};
+    std::atomic<std::uint64_t> misses{0};
+    std::mutex mu;
+    FutureMap<Dataset> datasets;
+    FutureMap<CscMatrix> adjacencies;
+    FutureMap<WorkloadProfile> profiles;
+};
+
+WorkloadCache &
+WorkloadCache::instance()
+{
+    static WorkloadCache cache;
+    return cache;
+}
+
+WorkloadCache::Impl &
+WorkloadCache::impl() const
+{
+    static Impl impl;
+    return impl;
+}
+
+std::shared_ptr<const Dataset>
+WorkloadCache::dataset(const DatasetSpec &spec, std::uint64_t seed,
+                       double scale)
+{
+    Impl &im = impl();
+    if (!enabled())
+        return std::make_shared<const Dataset>(
+            loadSynthetic(spec, seed, scale));
+    return getOrBuild<Dataset>(
+        im.mu, im.datasets, contentKey("dataset", spec, seed, scale),
+        im.hits, im.misses,
+        [&] { return loadSynthetic(spec, seed, scale); });
+}
+
+std::shared_ptr<const CscMatrix>
+WorkloadCache::adjacency(const DatasetSpec &spec, std::uint64_t seed,
+                         double scale)
+{
+    Impl &im = impl();
+    if (!enabled())
+        return std::make_shared<const CscMatrix>(
+            loadSyntheticAdjacency(spec, seed, scale));
+    return getOrBuild<CscMatrix>(
+        im.mu, im.adjacencies, contentKey("adjacency", spec, seed, scale),
+        im.hits, im.misses,
+        [&] { return loadSyntheticAdjacency(spec, seed, scale); });
+}
+
+std::shared_ptr<const WorkloadProfile>
+WorkloadCache::profile(const DatasetSpec &spec, std::uint64_t seed,
+                       double scale)
+{
+    Impl &im = impl();
+    if (!enabled())
+        return std::make_shared<const WorkloadProfile>(
+            loadProfile(spec, seed, scale));
+    return getOrBuild<WorkloadProfile>(
+        im.mu, im.profiles, contentKey("profile", spec, seed, scale),
+        im.hits, im.misses,
+        [&] { return loadProfile(spec, seed, scale); });
+}
+
+void
+WorkloadCache::setEnabled(bool on)
+{
+    impl().enabled.store(on, std::memory_order_relaxed);
+}
+
+bool
+WorkloadCache::enabled() const
+{
+    return impl().enabled.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+WorkloadCache::hits() const
+{
+    return impl().hits.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+WorkloadCache::misses() const
+{
+    return impl().misses.load(std::memory_order_relaxed);
+}
+
+void
+WorkloadCache::clear()
+{
+    Impl &im = impl();
+    std::lock_guard<std::mutex> lock(im.mu);
+    im.datasets.clear();
+    im.adjacencies.clear();
+    im.profiles.clear();
+    im.hits.store(0, std::memory_order_relaxed);
+    im.misses.store(0, std::memory_order_relaxed);
+}
+
+std::shared_ptr<const Dataset>
+cachedDataset(const DatasetSpec &spec, std::uint64_t seed, double scale)
+{
+    return WorkloadCache::instance().dataset(spec, seed, scale);
+}
+
+std::shared_ptr<const CscMatrix>
+cachedAdjacency(const DatasetSpec &spec, std::uint64_t seed, double scale)
+{
+    return WorkloadCache::instance().adjacency(spec, seed, scale);
+}
+
+std::shared_ptr<const WorkloadProfile>
+cachedProfile(const DatasetSpec &spec, std::uint64_t seed, double scale)
+{
+    return WorkloadCache::instance().profile(spec, seed, scale);
+}
+
+void
+setCachesEnabled(bool on)
+{
+    WorkloadCache::instance().setEnabled(on);
+    RoundStateCache::instance().setEnabled(on);
+}
+
+bool
+cachesEnabled()
+{
+    return WorkloadCache::instance().enabled();
+}
+
+} // namespace awb::exec

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Process-wide, thread-safe, content-keyed cache of synthesized
+ * workloads (DESIGN.md §13).
+ *
+ * Every front end — sweep, the bench drivers, the scenarios, serving —
+ * used to call `loadSynthetic` / `loadSyntheticAdjacency` /
+ * `loadProfile` independently, so a dataset×policy×PEs grid synthesized
+ * the same dataset once per point. The loaders are pure functions of
+ * (spec, seed, scale); this cache keys on exactly that content (every
+ * spec field, not just the name) and hands out shared immutable
+ * instances, so each distinct workload is built once per process.
+ *
+ * Concurrent requesters of the same key block on a shared future while
+ * the first one synthesizes — a grid never builds a dataset twice, even
+ * when a point per worker thread asks simultaneously.
+ *
+ * Disabled by default (library embedders and unit tests see the plain
+ * loaders); `awbsim` enables it via exec::setCachesEnabled (escape
+ * hatch: `--no-cache`).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "graph/datasets.hpp"
+
+namespace awb::exec {
+
+/** Process-wide memo of loadSynthetic/loadSyntheticAdjacency/loadProfile. */
+class WorkloadCache
+{
+  public:
+    static WorkloadCache &instance();
+
+    /** Cached loadSynthetic(spec, seed, scale). */
+    std::shared_ptr<const Dataset> dataset(const DatasetSpec &spec,
+                                           std::uint64_t seed, double scale);
+
+    /** Cached loadSyntheticAdjacency(spec, seed, scale). */
+    std::shared_ptr<const CscMatrix>
+    adjacency(const DatasetSpec &spec, std::uint64_t seed, double scale);
+
+    /** Cached loadProfile(spec, seed, scale). */
+    std::shared_ptr<const WorkloadProfile>
+    profile(const DatasetSpec &spec, std::uint64_t seed, double scale);
+
+    /** When disabled, every call builds fresh (and counts nothing). */
+    void setEnabled(bool on);
+    bool enabled() const;
+
+    /** A hit is a request that found the key present or in flight. */
+    std::uint64_t hits() const;
+    std::uint64_t misses() const;
+    void clear();
+
+  private:
+    WorkloadCache() = default;
+    struct Impl;
+    Impl &impl() const;
+};
+
+/** Call-site shorthands for WorkloadCache::instance().xxx(...). */
+std::shared_ptr<const Dataset> cachedDataset(const DatasetSpec &spec,
+                                             std::uint64_t seed,
+                                             double scale);
+std::shared_ptr<const CscMatrix> cachedAdjacency(const DatasetSpec &spec,
+                                                 std::uint64_t seed,
+                                                 double scale);
+std::shared_ptr<const WorkloadProfile>
+cachedProfile(const DatasetSpec &spec, std::uint64_t seed, double scale);
+
+/**
+ * Master switch for both process-wide caches: the WorkloadCache above
+ * and the engine's RoundStateCache (accel/round_cache.hpp). Cached
+ * results are bit-identical to fresh ones, so flipping this never
+ * changes a model output.
+ */
+void setCachesEnabled(bool on);
+bool cachesEnabled();
+
+} // namespace awb::exec

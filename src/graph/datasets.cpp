@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "common/log.hpp"
+#include "common/text.hpp"
 #include "graph/degree_dist.hpp"
 #include "graph/normalize.hpp"
 
@@ -105,10 +106,17 @@ const DatasetSpec &
 findDataset(const std::string &name)
 {
     std::string key = lower(name);
-    for (const auto &spec : paperDatasets())
+    std::vector<std::string> candidates;
+    for (const auto &spec : paperDatasets()) {
         if (spec.name == key) return spec;
-    fatal("unknown dataset: " + name +
-          " (expected cora/citeseer/pubmed/nell/reddit)");
+        candidates.push_back(spec.name);
+    }
+    std::string known;
+    for (const auto &c : candidates)
+        known += (known.empty() ? "" : "/") + c;
+    fatal("unknown dataset '" + name + "' — did you mean '" +
+          nearestOf(key, candidates) + "'? (" + known +
+          "; awbsim --list-datasets shows details)");
 }
 
 DatasetSpec

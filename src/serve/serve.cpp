@@ -7,6 +7,7 @@
 
 #include "accel/policy.hpp"
 #include "common/log.hpp"
+#include "exec/workload_cache.hpp"
 #include "serve/queue.hpp"
 
 namespace awb::serve {
@@ -293,7 +294,8 @@ runServe(const ServeOptions &opts)
     const AccelConfig cfg =
         makePolicyConfig(opts.design, opts.numPes, hopBase(spec));
     const double clock = policyClockMhz(cfg);
-    const Dataset ds = loadSynthetic(spec, opts.seed, opts.scale);
+    const auto ds_p = exec::cachedDataset(spec, opts.seed, opts.scale);
+    const Dataset &ds = *ds_p;
     RequestGenerator gen(ds, opts.mix, opts.seed);
     if (opts.fidelity == ServeFidelity::Model) {
         ModelServiceModel svc(ds, cfg);

@@ -1,6 +1,21 @@
 #include "sparse/spmm.hpp"
 
+#include <algorithm>
+
 #include "common/log.hpp"
+#include "common/parallel.hpp"
+
+namespace {
+
+// Chunk size that depends only on the trip count, never on the worker
+// count — required for deterministic parallelFor boundaries.
+std::size_t
+grainFor(std::size_t total)
+{
+    return std::max<std::size_t>(1, total / 256);
+}
+
+} // namespace
 
 namespace awb {
 
@@ -11,17 +26,28 @@ spmmCsc(const CscMatrix &a, const DenseMatrix &b)
     DenseMatrix c(a.rows(), b.cols());
     // Stream B element-by-element: b(j, k) broadcasts to column j of A
     // (paper Eq. 4). Loop order chosen for cache locality on C.
-    for (Index k = 0; k < b.cols(); ++k) {
-        for (Index j = 0; j < a.cols(); ++j) {
-            Value bjk = b.at(j, k);
-            if (bjk == Value(0)) continue;
-            for (Count p = a.colPtr()[static_cast<std::size_t>(j)];
-                 p < a.colPtr()[static_cast<std::size_t>(j) + 1]; ++p) {
-                c.at(a.rowId()[static_cast<std::size_t>(p)], k) +=
-                    a.val()[static_cast<std::size_t>(p)] * bjk;
+    // Each k writes column k of C only, so chunks over k are disjoint
+    // and the per-element accumulation order (ascending j, then stream
+    // order within the column) is unchanged at any thread count.
+    auto body = [&](std::size_t kb, std::size_t ke) {
+        for (Index k = static_cast<Index>(kb);
+             k < static_cast<Index>(ke); ++k) {
+            for (Index j = 0; j < a.cols(); ++j) {
+                Value bjk = b.at(j, k);
+                if (bjk == Value(0)) continue;
+                for (Count p = a.colPtr()[static_cast<std::size_t>(j)];
+                     p < a.colPtr()[static_cast<std::size_t>(j) + 1]; ++p) {
+                    c.at(a.rowId()[static_cast<std::size_t>(p)], k) +=
+                        a.val()[static_cast<std::size_t>(p)] * bjk;
+                }
             }
         }
-    }
+    };
+    const std::size_t total = static_cast<std::size_t>(b.cols());
+    if (shouldParallelize(a.nnz() * static_cast<Count>(b.cols())))
+        parallelFor(total, grainFor(total), body);
+    else
+        body(0, total);
     return c;
 }
 
@@ -30,16 +56,26 @@ spmmCsr(const CsrMatrix &a, const DenseMatrix &b)
 {
     if (a.cols() != b.rows()) panic("spmmCsr: inner dimensions differ");
     DenseMatrix c(a.rows(), b.cols());
-    for (Index i = 0; i < a.rows(); ++i) {
-        Value *crow = c.rowPtr(i);
-        for (Count p = a.rowPtr()[static_cast<std::size_t>(i)];
-             p < a.rowPtr()[static_cast<std::size_t>(i) + 1]; ++p) {
-            Index j = a.colId()[static_cast<std::size_t>(p)];
-            Value av = a.val()[static_cast<std::size_t>(p)];
-            const Value *brow = b.rowPtr(j);
-            for (Index k = 0; k < b.cols(); ++k) crow[k] += av * brow[k];
+    // Each row of C is produced by exactly one row of A: chunks over
+    // rows are disjoint and in-row accumulation order is unchanged.
+    auto body = [&](std::size_t ib, std::size_t ie) {
+        for (Index i = static_cast<Index>(ib);
+             i < static_cast<Index>(ie); ++i) {
+            Value *crow = c.rowPtr(i);
+            for (Count p = a.rowPtr()[static_cast<std::size_t>(i)];
+                 p < a.rowPtr()[static_cast<std::size_t>(i) + 1]; ++p) {
+                Index j = a.colId()[static_cast<std::size_t>(p)];
+                Value av = a.val()[static_cast<std::size_t>(p)];
+                const Value *brow = b.rowPtr(j);
+                for (Index k = 0; k < b.cols(); ++k) crow[k] += av * brow[k];
+            }
         }
-    }
+    };
+    const std::size_t total = static_cast<std::size_t>(a.rows());
+    if (shouldParallelize(a.nnz() * static_cast<Count>(b.cols())))
+        parallelFor(total, grainFor(total), body);
+    else
+        body(0, total);
     return c;
 }
 
@@ -49,15 +85,23 @@ spmmDenseStored(const DenseMatrix &a, const DenseMatrix &b)
     if (a.cols() != b.rows())
         panic("spmmDenseStored: inner dimensions differ");
     DenseMatrix c(a.rows(), b.cols());
-    for (Index i = 0; i < a.rows(); ++i) {
-        Value *crow = c.rowPtr(i);
-        for (Index j = 0; j < a.cols(); ++j) {
-            Value aij = a.at(i, j);
-            if (aij == Value(0)) continue;
-            const Value *brow = b.rowPtr(j);
-            for (Index k = 0; k < b.cols(); ++k) crow[k] += aij * brow[k];
+    auto body = [&](std::size_t ib, std::size_t ie) {
+        for (Index i = static_cast<Index>(ib);
+             i < static_cast<Index>(ie); ++i) {
+            Value *crow = c.rowPtr(i);
+            for (Index j = 0; j < a.cols(); ++j) {
+                Value aij = a.at(i, j);
+                if (aij == Value(0)) continue;
+                const Value *brow = b.rowPtr(j);
+                for (Index k = 0; k < b.cols(); ++k) crow[k] += aij * brow[k];
+            }
         }
-    }
+    };
+    const std::size_t total = static_cast<std::size_t>(a.rows());
+    if (shouldParallelize(a.nnz() * static_cast<Count>(b.cols())))
+        parallelFor(total, grainFor(total), body);
+    else
+        body(0, total);
     return c;
 }
 

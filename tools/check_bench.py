@@ -68,6 +68,50 @@ def diff(baseline, fresh, path, blocking, advisory):
         blocking.append(f"{path}: {baseline!r} -> {fresh!r}")
 
 
+def collect_wall_ms(baseline, fresh, path, pairs):
+    """Collect paired numeric wall_ms measurements from both documents."""
+    if isinstance(baseline, dict) and isinstance(fresh, dict):
+        for key in sorted(set(baseline) & set(fresh)):
+            sub = f"{path}.{key}" if path else key
+            b, f = baseline[key], fresh[key]
+            if ("wall_ms" in key and isinstance(b, (int, float))
+                    and isinstance(f, (int, float))):
+                pairs.append((sub, float(b), float(f)))
+            else:
+                collect_wall_ms(b, f, sub, pairs)
+    elif isinstance(baseline, list) and isinstance(fresh, list):
+        for i, (b, f) in enumerate(zip(baseline, fresh)):
+            collect_wall_ms(b, f, f"{path}[{i}]", pairs)
+
+
+def trend_summary(baseline, fresh):
+    """Advisory wall-clock trend lines: paired totals plus every point
+    that moved by 5% or more. Purely informational — never blocks."""
+    pairs = []
+    collect_wall_ms(baseline, fresh, "", pairs)
+    if not pairs:
+        return []
+    total_old = sum(p[1] for p in pairs)
+    total_new = sum(p[2] for p in pairs)
+    ratio = total_old / total_new if total_new > 0 else 0.0
+    lines = [
+        f"wall_ms total {total_old:.1f} -> {total_new:.1f} ms over "
+        f"{len(pairs)} paired measurement(s)"
+        + (f" ({ratio:.2f}x)" if ratio else "")
+    ]
+    for sub, old, new in pairs:
+        if old <= 0 or new <= 0:
+            continue
+        r = old / new
+        if r >= 1.05:
+            lines.append(
+                f"  faster {r:.2f}x {sub}: {old:.1f} -> {new:.1f} ms")
+        elif r <= 0.95:
+            lines.append(
+                f"  slower {1 / r:.2f}x {sub}: {old:.1f} -> {new:.1f} ms")
+    return lines
+
+
 def compare_files(baseline_path, fresh_path):
     with open(baseline_path) as f:
         baseline = json.load(f)
@@ -78,6 +122,8 @@ def compare_files(baseline_path, fresh_path):
     label = f"{baseline_path} vs {fresh_path}"
     for line in advisory:
         print(f"ADVISORY {label}: {line}")
+    for line in trend_summary(baseline, fresh):
+        print(f"TREND {label}: {line}")
     for line in blocking:
         print(f"FAIL {label}: {line}")
     if not blocking:
@@ -287,6 +333,26 @@ def self_test():
         failures.append("dynamic wall-clock drift treated as regression")
     if not drift:
         failures.append("dynamic wall-clock drift not advisory")
+
+    # Wall-clock trend summary: totals and per-point direction are
+    # reported, and a wall-clock-only change stays non-blocking.
+    p = copy.deepcopy(doc)
+    p["points"][0]["event"]["wall_ms"] = 180.0   # 361.66 -> 180: faster
+    p["points"][0]["batched"]["wall_ms"] = 40.0  # 19.97 -> 40: slower
+    lines = trend_summary(doc, p)
+    if not lines or "wall_ms total" not in lines[0]:
+        failures.append("trend summary missing its total line")
+    if not any(line.lstrip().startswith("faster") for line in lines):
+        failures.append("trend summary missed the faster point")
+    if not any(line.lstrip().startswith("slower") for line in lines):
+        failures.append("trend summary missed the slower point")
+    bad, _ = verdict(p)
+    if bad:
+        failures.append("wall-clock trend drift treated as regression")
+    if trend_summary(doc, copy.deepcopy(doc)) and any(
+            line.lstrip().startswith(("faster", "slower"))
+            for line in trend_summary(doc, copy.deepcopy(doc))):
+        failures.append("identical documents produced trend movement")
 
     for f in failures:
         print(f"SELF-TEST FAIL: {f}")
